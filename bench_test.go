@@ -1,0 +1,232 @@
+// Root benchmark suite: one bench per paper table/figure (each invokes the
+// corresponding experiment driver at CI scale — run with -benchtime=1x to
+// regenerate every artifact), plus micro-benchmarks of the hot components
+// (SaTE inference, solvers, topology generation, path computation).
+package sate
+
+import (
+	"bytes"
+	"testing"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/core"
+	"sate/internal/experiments"
+	"sate/internal/graphembed"
+	"sate/internal/paths"
+	"sate/internal/rules"
+	"sate/internal/sim"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// benchExperiment runs a registered experiment driver once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	d, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := d(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// Table/figure regeneration benches (Sec. 5, Appendices D/H).
+
+func BenchmarkFig4aTHT(b *testing.B)              { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bPathObsolescence(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cLinkExclusion(b *testing.B)    { benchExperiment(b, "fig4c") }
+func BenchmarkTable1Volumes(b *testing.B)         { benchExperiment(b, "tab1") }
+func BenchmarkFig8aLatency(b *testing.B)          { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bLatencyCDF(b *testing.B)       { benchExperiment(b, "fig8b") }
+func BenchmarkFig9aTraining(b *testing.B)         { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bTopologyPruning(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig10abOnline(b *testing.B)         { benchExperiment(b, "fig10ab") }
+func BenchmarkFig10cTeal(b *testing.B)            { benchExperiment(b, "fig10c") }
+func BenchmarkFig10dGeneralization(b *testing.B)  { benchExperiment(b, "fig10d") }
+func BenchmarkFig13RuleDistribution(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14Offline(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15aMLU(b *testing.B)             { benchExperiment(b, "fig15a") }
+func BenchmarkFig15bFailures(b *testing.B)        { benchExperiment(b, "fig15b") }
+func BenchmarkFig16FlowLevel(b *testing.B)        { benchExperiment(b, "fig16") }
+
+// Ablation benches (DESIGN.md Sec. 4).
+
+func BenchmarkAblationGraphReduction(b *testing.B) { benchExperiment(b, "abl-graph") }
+func BenchmarkAblationPruning(b *testing.B)        { benchExperiment(b, "abl-prune") }
+func BenchmarkAblationDPPvsRandom(b *testing.B)    { benchExperiment(b, "abl-dpp") }
+func BenchmarkAblationAttention(b *testing.B)      { benchExperiment(b, "abl-attn") }
+func BenchmarkAblationMWUEpsilon(b *testing.B)     { benchExperiment(b, "abl-mwu") }
+
+// Micro-benchmarks of the hot paths.
+
+func benchProblem(b *testing.B, cons *constellation.Constellation, intensity float64) (*sim.Scenario, *te.Problem) {
+	b.Helper()
+	s := sim.NewScenario(cons, sim.ScenarioConfig{
+		Mode:       topology.CrossShellLasers,
+		Intensity:  intensity,
+		Seed:       1,
+		MinElevDeg: 10,
+	})
+	p, _, _, err := s.ProblemAt(30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, p
+}
+
+func BenchmarkSaTEInference66(b *testing.B) {
+	_, p := benchProblem(b, constellation.Iridium(), 60)
+	m := core.NewModel(core.DefaultConfig())
+	if _, err := m.Solve(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaTEInference396(b *testing.B) {
+	_, p := benchProblem(b, constellation.MidSize1(), 125)
+	m := core.NewModel(core.DefaultConfig())
+	if _, err := m.Solve(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGKSolver(b *testing.B) {
+	_, p := benchProblem(b, constellation.Iridium(), 60)
+	solver := baselines.GK{Epsilon: 0.05}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECMPWF(b *testing.B) {
+	_, p := benchProblem(b, constellation.Iridium(), 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (baselines.ECMPWF{}).Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologySnapshotStarlink(b *testing.B) {
+	cons := constellation.StarlinkPhase1()
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen.Snapshot(float64(i) * 0.0125)
+	}
+}
+
+func BenchmarkGridKShortestStarlink(b *testing.B) {
+	cons := constellation.StarlinkPhase1()
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	snap := gen.Snapshot(0)
+	router := paths.NewGridRouter(cons, snap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := constellation.SatID(i * 97 % cons.Size()) // deterministic spread
+		c := constellation.SatID((i*389 + 1) % cons.Size())
+		if a != c {
+			router.KShortest(a, c, 10)
+		}
+	}
+}
+
+func BenchmarkYenKShortest(b *testing.B) {
+	cons := constellation.Iridium()
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellNone))
+	snap := gen.Snapshot(0)
+	g := paths.GraphFrom(snap)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.YenKShortest(topology.NodeID(i%60), topology.NodeID((i+33)%66), 10)
+	}
+}
+
+func BenchmarkGraphEmbed(b *testing.B) {
+	cons := constellation.MidSize1()
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	snap := gen.Snapshot(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		graphembed.Embed(snap, 128, 3)
+	}
+}
+
+func BenchmarkTrimAllocation(b *testing.B) {
+	_, p := benchProblem(b, constellation.Iridium(), 120)
+	a, err := (baselines.ECMPWF{}).Solve(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Inflate to force trimming work each iteration.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := a.Clone()
+		for fi := range c.X {
+			for pi := range c.X[fi] {
+				c.X[fi][pi] *= 3
+			}
+		}
+		p.Trim(c)
+	}
+}
+
+func BenchmarkRuleCompilation(b *testing.B) {
+	_, p := benchProblem(b, constellation.Iridium(), 60)
+	a, err := (baselines.ECMPWF{}).Solve(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := rules.Compile(p, a)
+		if rs.NumRules() == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+func BenchmarkSnapshotSerialization(b *testing.B) {
+	cons := constellation.MidSize1()
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	snap := gen.Snapshot(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := topology.ReadSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

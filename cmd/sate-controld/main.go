@@ -1,0 +1,108 @@
+// Command sate-controld runs the TE control center of Fig. 3 as an HTTP
+// service: it ticks simulated time at wall-clock pace, recomputes the
+// allocation every interval with the chosen solver, compiles and verifies
+// per-satellite rules, and serves them over JSON.
+//
+// Usage:
+//
+//	sate-controld -cons iridium -method ecmp-wf -listen :8080 -interval 5
+//	curl localhost:8080/status
+//	curl localhost:8080/rules?node=12
+//	curl -X POST -d '{"time_sec": 300}' localhost:8080/recompute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/controller"
+	"sate/internal/core"
+	"sate/internal/sim"
+	"sate/internal/topology"
+)
+
+func main() {
+	var (
+		consName  = flag.String("cons", "iridium", "constellation: starlink | iridium | midsize1 | midsize2")
+		method    = flag.String("method", "ecmp-wf", "solver: sate (needs -model) | lp | gk | pop | ecmp-wf | maxmin-fair")
+		modelPath = flag.String("model", "", "trained SaTE model file (for -method sate)")
+		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		intensity = flag.Float64("intensity", 8, "traffic intensity, flows/s")
+		interval  = flag.Float64("interval", 5, "TE workflow interval, seconds")
+		start     = flag.Float64("start", 150, "initial simulated time")
+		durScale  = flag.Float64("dur-scale", 0.05, "flow duration scale")
+		minElev   = flag.Float64("min-elev", 10, "user min elevation, degrees")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cons, ok := constellation.ByName(*consName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown constellation %q\n", *consName)
+		os.Exit(2)
+	}
+	scen := sim.NewScenario(cons, sim.ScenarioConfig{
+		Mode:              topology.CrossShellLasers,
+		Intensity:         *intensity,
+		Seed:              *seed,
+		MinElevDeg:        *minElev,
+		FlowDurationScale: *durScale,
+	})
+
+	var solver sim.Allocator
+	switch *method {
+	case "sate":
+		if *modelPath == "" {
+			fmt.Fprintln(os.Stderr, "-method sate requires -model (train one with sate-train -save)")
+			os.Exit(2)
+		}
+		m, err := core.LoadFile(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		solver = m
+	case "lp":
+		solver = baselines.LPAuto{}
+	case "gk":
+		solver = baselines.GK{Epsilon: 0.05}
+	case "pop":
+		solver = &baselines.POP{K: 4, Seed: *seed}
+	case "ecmp-wf":
+		solver = baselines.ECMPWF{}
+	case "maxmin-fair":
+		solver = baselines.MaxMinFair{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	srv := controller.New(scen, solver)
+	stop := make(chan struct{})
+	errc := make(chan error, 2)
+	go func() { errc <- srv.Run(*start, *interval, stop) }()
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("sate-controld: %s, method %s, interval %gs, listening on %s\n",
+		cons.Name, solver.Name(), *interval, *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-sigc:
+		fmt.Println("shutting down")
+	}
+	close(stop)
+	httpSrv.Close()
+}

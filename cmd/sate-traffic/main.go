@@ -1,0 +1,66 @@
+// Command sate-traffic generates satellite traffic matrices for a
+// constellation and reports their statistics: non-zero pairs, sparsity (the
+// property traffic pruning exploits), total demand, and per-class mix.
+//
+// Usage:
+//
+//	sate-traffic -cons starlink -intensity 500 -duration 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sate/internal/constellation"
+	"sate/internal/groundnet"
+	"sate/internal/orbit"
+	"sate/internal/traffic"
+)
+
+func main() {
+	var (
+		consName  = flag.String("cons", "starlink", "constellation: starlink | iridium | midsize1 | midsize2")
+		intensity = flag.Float64("intensity", 125, "traffic intensity, flows/s")
+		duration  = flag.Float64("duration", 60, "simulated seconds")
+		users     = flag.Int("users", 3_000_000, "total users")
+		gateways  = flag.Int("gateways", 1000, "gateways")
+		minElev   = flag.Float64("min-elev", 25, "user min elevation, degrees")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cons, ok := constellation.ByName(*consName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown constellation %q\n", *consName)
+		os.Exit(2)
+	}
+	grid := groundnet.SyntheticPopulation(*seed)
+	seg := groundnet.Build(grid, groundnet.Config{
+		Users:        *users,
+		UserClusters: 2000,
+		Gateways:     *gateways,
+		Relays:       222,
+		Gamma:        0.05,
+		Seed:         *seed,
+	})
+	fmt.Printf("ground segment: %d users in %d clusters, %d gateways, %d relays\n",
+		seg.TotalUsers(), len(seg.UserClusters), len(seg.Gateways), len(seg.Relays))
+
+	gen := traffic.NewGenerator(seg, traffic.DefaultConfig(*intensity, *seed))
+	loc := groundnet.NewSatLocator(cons)
+	pos := cons.PositionsECEF(0, nil)
+	loc.Update(pos)
+
+	for _, t := range []float64{*duration / 4, *duration / 2, *duration} {
+		gen.AdvanceTo(t)
+		m := traffic.BuildMatrix(gen.ActiveFlows(), loc, orbit.Deg(*minElev), cons.Size())
+		classCount := map[int]int{}
+		for _, f := range gen.ActiveFlows() {
+			classCount[f.Class]++
+		}
+		fmt.Printf("t=%5.0fs: %6d active flows %v | matrix: %5d non-zero pairs (density %.5f%%), total %.0f Mbps\n",
+			t, gen.ActiveCount(), classCount,
+			m.NonZeroPairs(), 100*m.DensityFraction(), m.Total())
+	}
+}

@@ -1,0 +1,130 @@
+// Command sate-train trains a SaTE model on a constellation scenario and
+// reports training progress plus held-out evaluation against the reference
+// LP solver and the heuristic baselines.
+//
+// Usage:
+//
+//	sate-train -cons iridium -samples 6 -epochs 20 -intensity 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/core"
+	"sate/internal/sim"
+	"sate/internal/topology"
+)
+
+func main() {
+	var (
+		consName  = flag.String("cons", "iridium", "constellation: starlink | iridium | midsize1 | midsize2")
+		samples   = flag.Int("samples", 5, "training samples (labelled topology/traffic instants)")
+		epochs    = flag.Int("epochs", 15, "training epochs")
+		intensity = flag.Float64("intensity", 60, "traffic intensity, flows/s")
+		embed     = flag.Int("embed", 32, "embedding dimension (paper: 768)")
+		minElev   = flag.Float64("min-elev", 10, "user min elevation, degrees")
+		seed      = flag.Int64("seed", 1, "random seed")
+		savePath  = flag.String("save", "", "save the trained model to this file")
+		loadPath  = flag.String("load", "", "load a model instead of training from scratch")
+	)
+	flag.Parse()
+
+	cons, ok := constellation.ByName(*consName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown constellation %q\n", *consName)
+		os.Exit(2)
+	}
+	scen := sim.NewScenario(cons, sim.ScenarioConfig{
+		Mode:       topology.CrossShellLasers,
+		Intensity:  *intensity,
+		Seed:       *seed,
+		MinElevDeg: *minElev,
+	})
+	solver := baselines.LPAuto{}
+
+	fmt.Printf("generating %d labelled samples on %s (%d sats)...\n", *samples, cons.Name, cons.Size())
+	var ds []*core.Sample
+	for i := 0; i < *samples; i++ {
+		p, _, _, err := scen.ProblemAt(15 + float64(i)*37)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(p.Flows) == 0 {
+			continue
+		}
+		ref, err := solver.Solve(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ds = append(ds, core.NewSample(p, ref))
+		fmt.Printf("  sample %d: %d flows, %d path vars, optimal %.1f Mbps\n",
+			i, len(p.Flows), p.NumPaths(), ref.Throughput())
+	}
+
+	var model *core.Model
+	if *loadPath != "" {
+		var err error
+		model, err = core.LoadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded model from %s: %d parameters\n", *loadPath, model.NumParams())
+	} else {
+		cfg := core.DefaultConfig()
+		cfg.EmbedDim = *embed
+		cfg.Seed = *seed
+		model = core.NewModel(cfg)
+		fmt.Printf("model: %d parameters (embed %d)\n", model.NumParams(), *embed)
+	}
+
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.Log = func(ep int, loss float64) {
+		if ep%5 == 0 || ep == *epochs-1 {
+			fmt.Printf("  epoch %3d  loss %.5f\n", ep, loss)
+		}
+	}
+	start := time.Now()
+	if _, err := core.Train(model, ds, tc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
+	if *savePath != "" {
+		if err := model.SaveFile(*savePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved model to %s\n", *savePath)
+	}
+
+	// Held-out evaluation.
+	fmt.Println("held-out evaluation (unseen topologies + traffic):")
+	for i := 0; i < 3; i++ {
+		p, _, _, err := scen.ProblemAt(500 + float64(i)*23)
+		if err != nil || len(p.Flows) == 0 {
+			continue
+		}
+		ref, _ := solver.Solve(p)
+		t0 := time.Now()
+		a, err := model.Solve(p)
+		lat := time.Since(t0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ecmp, _ := (baselines.ECMPWF{}).Solve(p)
+		fmt.Printf("  t=%3.0f: sate %.1f%% in %s | optimal %.1f%% | ecmp-wf %.1f%%\n",
+			500+float64(i)*23,
+			100*p.SatisfiedDemand(a), lat.Round(time.Microsecond),
+			100*p.SatisfiedDemand(ref), 100*p.SatisfiedDemand(ecmp))
+	}
+}

@@ -1,0 +1,3 @@
+module sate
+
+go 1.24

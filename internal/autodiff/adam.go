@@ -1,0 +1,114 @@
+package autodiff
+
+import "math"
+
+// Adam is the Adam optimizer over a fixed set of parameters.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // global gradient-norm clip; 0 disables
+
+	params []*Value
+	m, v   []*Tensor
+	t      int
+}
+
+// NewAdam creates an optimizer with standard defaults (lr as given,
+// beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float64, params ...*Value) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		if !p.isParam {
+			panic("autodiff: Adam over non-parameter value")
+		}
+		a.m = append(a.m, NewTensor(p.Val.Rows, p.Val.Cols))
+		a.v = append(a.v, NewTensor(p.Val.Rows, p.Val.Cols))
+	}
+	return a
+}
+
+// Params returns the managed parameters.
+func (a *Adam) Params() []*Value { return a.params }
+
+// ZeroGrad clears all parameter gradients.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.Grad.Fill(0)
+	}
+}
+
+// GradNorm returns the global L2 norm of all parameter gradients.
+func (a *Adam) GradNorm() float64 {
+	var s float64
+	for _, p := range a.params {
+		for _, g := range p.Grad.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one Adam update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.t++
+	scale := 1.0
+	if a.ClipNorm > 0 {
+		if n := a.GradNorm(); n > a.ClipNorm {
+			scale = a.ClipNorm / n
+		}
+	}
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.Val.Data {
+			g := p.Grad.Data[i] * scale
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / b1c
+			vh := v.Data[i] / b2c
+			p.Val.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (a *Adam) NumParams() int {
+	n := 0
+	for _, p := range a.params {
+		n += len(p.Val.Data)
+	}
+	return n
+}
+
+// GradCheck numerically verifies the analytic gradient of a scalar-valued
+// function with respect to one parameter, returning the maximum relative
+// error over sampled entries. f must rebuild the graph on a fresh tape and
+// return the scalar output; it is called multiple times.
+func GradCheck(p *Value, f func() float64, analytic *Tensor, h float64, samples int) float64 {
+	if samples <= 0 || samples > len(p.Val.Data) {
+		samples = len(p.Val.Data)
+	}
+	maxErr := 0.0
+	stride := len(p.Val.Data) / samples
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < len(p.Val.Data); i += stride {
+		orig := p.Val.Data[i]
+		p.Val.Data[i] = orig + h
+		fp := f()
+		p.Val.Data[i] = orig - h
+		fm := f()
+		p.Val.Data[i] = orig
+		num := (fp - fm) / (2 * h)
+		ana := analytic.Data[i]
+		den := math.Max(1e-6, math.Abs(num)+math.Abs(ana))
+		if err := math.Abs(num-ana) / den; err > maxErr {
+			maxErr = err
+		}
+	}
+	return maxErr
+}

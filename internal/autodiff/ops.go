@@ -1,0 +1,545 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+)
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("autodiff: %s shape mismatch %s vs %s", op, a.shape(), b.shape()))
+	}
+}
+
+// MatMul returns a @ b.
+func (tp *Tape) MatMul(a, b *Value) *Value {
+	if a.Val.Cols != b.Val.Rows {
+		panic(fmt.Sprintf("autodiff: matmul %s @ %s", a.Val.shape(), b.Val.shape()))
+	}
+	m, k, n := a.Val.Rows, a.Val.Cols, b.Val.Cols
+	out := NewTensor(m, n)
+	matmulInto(out, a.Val, b.Val)
+	v := tp.node(out, nil)
+	v.back = func() {
+		// dA += dOut @ B^T ; dB += A^T @ dOut
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				var s float64
+				for c := 0; c < n; c++ {
+					s += v.Grad.Data[i*n+c] * b.Val.Data[j*n+c]
+				}
+				a.Grad.Data[i*k+j] += s
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for r := 0; r < m; r++ {
+					s += a.Val.Data[r*k+i] * v.Grad.Data[r*n+j]
+				}
+				b.Grad.Data[i*n+j] += s
+			}
+		}
+	}
+	return v
+}
+
+func matmulInto(out, a, b *Tensor) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		ra := a.Data[i*k : (i+1)*k]
+		ro := out.Data[i*n : (i+1)*n]
+		for j := range ro {
+			ro[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := ra[p]
+			if av == 0 {
+				continue
+			}
+			rb := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				ro[j] += av * rb[j]
+			}
+		}
+	}
+}
+
+// Add returns a + b (same shape).
+func (tp *Tape) Add(a, b *Value) *Value {
+	assertSameShape("add", a.Val, b.Val)
+	out := a.Val.Clone()
+	for i, v := range b.Val.Data {
+		out.Data[i] += v
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			a.Grad.Data[i] += g
+			b.Grad.Data[i] += g
+		}
+	}
+	return v
+}
+
+// Sub returns a - b.
+func (tp *Tape) Sub(a, b *Value) *Value {
+	assertSameShape("sub", a.Val, b.Val)
+	out := a.Val.Clone()
+	for i, v := range b.Val.Data {
+		out.Data[i] -= v
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			a.Grad.Data[i] += g
+			b.Grad.Data[i] -= g
+		}
+	}
+	return v
+}
+
+// Mul returns the elementwise product.
+func (tp *Tape) Mul(a, b *Value) *Value {
+	assertSameShape("mul", a.Val, b.Val)
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Val.Data[i] * b.Val.Data[i]
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			a.Grad.Data[i] += g * b.Val.Data[i]
+			b.Grad.Data[i] += g * a.Val.Data[i]
+		}
+	}
+	return v
+}
+
+// Scale returns a * s for scalar s.
+func (tp *Tape) Scale(a *Value, s float64) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		out.Data[i] = x * s
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			a.Grad.Data[i] += g * s
+		}
+	}
+	return v
+}
+
+// AddRowBroadcast returns a + b where b is 1 x cols, added to every row of a.
+func (tp *Tape) AddRowBroadcast(a, b *Value) *Value {
+	if b.Val.Rows != 1 || b.Val.Cols != a.Val.Cols {
+		panic(fmt.Sprintf("autodiff: row broadcast %s + %s", a.Val.shape(), b.Val.shape()))
+	}
+	out := a.Val.Clone()
+	for r := 0; r < a.Val.Rows; r++ {
+		for c := 0; c < a.Val.Cols; c++ {
+			out.Data[r*a.Val.Cols+c] += b.Val.Data[c]
+		}
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		cols := a.Val.Cols
+		for r := 0; r < a.Val.Rows; r++ {
+			for c := 0; c < cols; c++ {
+				g := v.Grad.Data[r*cols+c]
+				a.Grad.Data[r*cols+c] += g
+				b.Grad.Data[c] += g
+			}
+		}
+	}
+	return v
+}
+
+// MulColBroadcast returns rows of a scaled by the column vector s (rows x 1).
+func (tp *Tape) MulColBroadcast(a, s *Value) *Value {
+	if s.Val.Cols != 1 || s.Val.Rows != a.Val.Rows {
+		panic(fmt.Sprintf("autodiff: col broadcast %s * %s", a.Val.shape(), s.Val.shape()))
+	}
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	cols := a.Val.Cols
+	for r := 0; r < a.Val.Rows; r++ {
+		f := s.Val.Data[r]
+		for c := 0; c < cols; c++ {
+			out.Data[r*cols+c] = a.Val.Data[r*cols+c] * f
+		}
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for r := 0; r < a.Val.Rows; r++ {
+			f := s.Val.Data[r]
+			var dot float64
+			for c := 0; c < cols; c++ {
+				g := v.Grad.Data[r*cols+c]
+				a.Grad.Data[r*cols+c] += g * f
+				dot += g * a.Val.Data[r*cols+c]
+			}
+			s.Grad.Data[r] += dot
+		}
+	}
+	return v
+}
+
+// LeakyReLU applies max(x, slope*x) elementwise.
+func (tp *Tape) LeakyReLU(a *Value, slope float64) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		if x >= 0 {
+			out.Data[i] = x
+		} else {
+			out.Data[i] = slope * x
+		}
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			if a.Val.Data[i] >= 0 {
+				a.Grad.Data[i] += g
+			} else {
+				a.Grad.Data[i] += g * slope
+			}
+		}
+	}
+	return v
+}
+
+// ReLU applies max(x, 0).
+func (tp *Tape) ReLU(a *Value) *Value { return tp.LeakyReLU(a, 0) }
+
+// Sigmoid applies 1/(1+exp(-x)) elementwise.
+func (tp *Tape) Sigmoid(a *Value) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			y := out.Data[i]
+			a.Grad.Data[i] += g * y * (1 - y)
+		}
+	}
+	return v
+}
+
+// Tanh applies tanh elementwise.
+func (tp *Tape) Tanh(a *Value) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		out.Data[i] = math.Tanh(x)
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			y := out.Data[i]
+			a.Grad.Data[i] += g * (1 - y*y)
+		}
+	}
+	return v
+}
+
+// Exp applies exp elementwise.
+func (tp *Tape) Exp(a *Value) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		out.Data[i] = math.Exp(x)
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			a.Grad.Data[i] += g * out.Data[i]
+		}
+	}
+	return v
+}
+
+// ClampMax applies min(x, c) elementwise (gradient 0 where clamped).
+func (tp *Tape) ClampMax(a *Value, c float64) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		out.Data[i] = math.Min(x, c)
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			if a.Val.Data[i] < c {
+				a.Grad.Data[i] += g
+			}
+		}
+	}
+	return v
+}
+
+// Concat joins tensors along columns (same row count).
+func (tp *Tape) Concat(parts ...*Value) *Value {
+	rows := parts[0].Val.Rows
+	total := 0
+	for _, p := range parts {
+		if p.Val.Rows != rows {
+			panic("autodiff: concat row mismatch")
+		}
+		total += p.Val.Cols
+	}
+	out := NewTensor(rows, total)
+	off := 0
+	for _, p := range parts {
+		c := p.Val.Cols
+		for r := 0; r < rows; r++ {
+			copy(out.Data[r*total+off:r*total+off+c], p.Val.Data[r*c:(r+1)*c])
+		}
+		off += c
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		off := 0
+		for _, p := range parts {
+			c := p.Val.Cols
+			for r := 0; r < rows; r++ {
+				for j := 0; j < c; j++ {
+					p.Grad.Data[r*c+j] += v.Grad.Data[r*total+off+j]
+				}
+			}
+			off += c
+		}
+	}
+	return v
+}
+
+// Gather selects rows of a by index: out[i] = a[idx[i]].
+func (tp *Tape) Gather(a *Value, idx []int) *Value {
+	cols := a.Val.Cols
+	out := NewTensor(len(idx), cols)
+	for i, r := range idx {
+		copy(out.Data[i*cols:(i+1)*cols], a.Val.Data[r*cols:(r+1)*cols])
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, r := range idx {
+			for j := 0; j < cols; j++ {
+				a.Grad.Data[r*cols+j] += v.Grad.Data[i*cols+j]
+			}
+		}
+	}
+	return v
+}
+
+// ScatterAddRows sums rows of a into outRows buckets: out[idx[i]] += a[i].
+func (tp *Tape) ScatterAddRows(a *Value, idx []int, outRows int) *Value {
+	cols := a.Val.Cols
+	out := NewTensor(outRows, cols)
+	for i, r := range idx {
+		for j := 0; j < cols; j++ {
+			out.Data[r*cols+j] += a.Val.Data[i*cols+j]
+		}
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, r := range idx {
+			for j := 0; j < cols; j++ {
+				a.Grad.Data[i*cols+j] += v.Grad.Data[r*cols+j]
+			}
+		}
+	}
+	return v
+}
+
+// SegmentSoftmax computes a softmax over groups of rows of a column vector:
+// rows i with equal seg[i] form one softmax group. a must be n x 1.
+func (tp *Tape) SegmentSoftmax(a *Value, seg []int, nSeg int) *Value {
+	if a.Val.Cols != 1 || len(seg) != a.Val.Rows {
+		panic("autodiff: SegmentSoftmax requires an n x 1 input with n segment ids")
+	}
+	n := a.Val.Rows
+	out := NewTensor(n, 1)
+	maxv := make([]float64, nSeg)
+	for i := range maxv {
+		maxv[i] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		if a.Val.Data[i] > maxv[seg[i]] {
+			maxv[seg[i]] = a.Val.Data[i]
+		}
+	}
+	sum := make([]float64, nSeg)
+	for i := 0; i < n; i++ {
+		out.Data[i] = math.Exp(a.Val.Data[i] - maxv[seg[i]])
+		sum[seg[i]] += out.Data[i]
+	}
+	for i := 0; i < n; i++ {
+		out.Data[i] /= sum[seg[i]]
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		// d a_i = y_i * (g_i - sum_j in seg(i) g_j y_j)
+		dot := make([]float64, nSeg)
+		for i := 0; i < n; i++ {
+			dot[seg[i]] += v.Grad.Data[i] * out.Data[i]
+		}
+		for i := 0; i < n; i++ {
+			a.Grad.Data[i] += out.Data[i] * (v.Grad.Data[i] - dot[seg[i]])
+		}
+	}
+	return v
+}
+
+// SumAll reduces to a 1x1 scalar.
+func (tp *Tape) SumAll(a *Value) *Value {
+	out := NewTensor(1, 1)
+	for _, x := range a.Val.Data {
+		out.Data[0] += x
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		g := v.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	}
+	return v
+}
+
+// MeanAll reduces to the scalar mean.
+func (tp *Tape) MeanAll(a *Value) *Value {
+	n := float64(len(a.Val.Data))
+	return tp.Scale(tp.SumAll(a), 1/n)
+}
+
+// SumRows reduces each row to one value (n x 1).
+func (tp *Tape) SumRows(a *Value) *Value {
+	out := NewTensor(a.Val.Rows, 1)
+	cols := a.Val.Cols
+	for r := 0; r < a.Val.Rows; r++ {
+		var s float64
+		for c := 0; c < cols; c++ {
+			s += a.Val.Data[r*cols+c]
+		}
+		out.Data[r] = s
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for r := 0; r < a.Val.Rows; r++ {
+			g := v.Grad.Data[r]
+			for c := 0; c < cols; c++ {
+				a.Grad.Data[r*cols+c] += g
+			}
+		}
+	}
+	return v
+}
+
+// MSE returns mean squared error between a and b as a scalar.
+func (tp *Tape) MSE(a, b *Value) *Value {
+	d := tp.Sub(a, b)
+	return tp.MeanAll(tp.Mul(d, d))
+}
+
+// MatMulT returns a @ b^T (a: m x k, b: n x k -> m x n). Avoids materialising
+// the transpose.
+func (tp *Tape) MatMulT(a, b *Value) *Value {
+	if a.Val.Cols != b.Val.Cols {
+		panic(fmt.Sprintf("autodiff: matmulT %s @ %sT", a.Val.shape(), b.Val.shape()))
+	}
+	m, k, n := a.Val.Rows, a.Val.Cols, b.Val.Rows
+	out := NewTensor(m, n)
+	for i := 0; i < m; i++ {
+		ra := a.Val.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			rb := b.Val.Data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += ra[p] * rb[p]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		// dA += dOut @ B ; dB += dOut^T @ A
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				var s float64
+				for j := 0; j < n; j++ {
+					s += v.Grad.Data[i*n+j] * b.Val.Data[j*k+p]
+				}
+				a.Grad.Data[i*k+p] += s
+			}
+		}
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				var s float64
+				for i := 0; i < m; i++ {
+					s += v.Grad.Data[i*n+j] * a.Val.Data[i*k+p]
+				}
+				b.Grad.Data[j*k+p] += s
+			}
+		}
+	}
+	return v
+}
+
+// RowSoftmax applies a numerically stable softmax along each row.
+func (tp *Tape) RowSoftmax(a *Value) *Value {
+	rows, cols := a.Val.Rows, a.Val.Cols
+	out := NewTensor(rows, cols)
+	for r := 0; r < rows; r++ {
+		ra := a.Val.Data[r*cols : (r+1)*cols]
+		ro := out.Data[r*cols : (r+1)*cols]
+		mx := math.Inf(-1)
+		for _, x := range ra {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		for i, x := range ra {
+			ro[i] = math.Exp(x - mx)
+			sum += ro[i]
+		}
+		for i := range ro {
+			ro[i] /= sum
+		}
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for r := 0; r < rows; r++ {
+			ro := out.Data[r*cols : (r+1)*cols]
+			var dot float64
+			for i := 0; i < cols; i++ {
+				dot += v.Grad.Data[r*cols+i] * ro[i]
+			}
+			for i := 0; i < cols; i++ {
+				a.Grad.Data[r*cols+i] += ro[i] * (v.Grad.Data[r*cols+i] - dot)
+			}
+		}
+	}
+	return v
+}
+
+// SoftClamp limits values to [lo, hi] with a residual slope outside the
+// band: y = clamp(x) + slope*(x - clamp(x)). Unlike a hard clamp the
+// gradient never vanishes (slope outside, 1 inside), so downstream
+// saturating nonlinearities (e.g. sigmoid gates) can always recover.
+func (tp *Tape) SoftClamp(a *Value, lo, hi, slope float64) *Value {
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	for i, x := range a.Val.Data {
+		c := math.Max(lo, math.Min(hi, x))
+		out.Data[i] = c + slope*(x-c)
+	}
+	v := tp.node(out, nil)
+	v.back = func() {
+		for i, g := range v.Grad.Data {
+			x := a.Val.Data[i]
+			if x < lo || x > hi {
+				a.Grad.Data[i] += g * slope
+			} else {
+				a.Grad.Data[i] += g
+			}
+		}
+	}
+	return v
+}

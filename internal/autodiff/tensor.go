@@ -1,0 +1,145 @@
+// Package autodiff is a small reverse-mode automatic-differentiation engine
+// over dense float64 matrices, built for graph neural networks on CPU. It
+// provides the operations GAT-style message passing needs — matrix products,
+// row gather/scatter, per-segment softmax, broadcasts and pointwise
+// nonlinearities — plus the Adam optimizer and numerical gradient checking.
+//
+// It stands in for the paper's GPU deep-learning framework (see DESIGN.md):
+// define-by-run eager execution, a tape in creation order, and reverse
+// accumulation over the tape.
+package autodiff
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewTensor allocates a zero matrix.
+func NewTensor(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols tensor.
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("autodiff: %d values for %dx%d tensor", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set writes element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Randn fills the tensor with N(0, scale^2) samples.
+func (t *Tensor) Randn(rng *rand.Rand, scale float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * scale
+	}
+	return t
+}
+
+// SameShape reports whether two tensors have identical dimensions.
+func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
+
+func (t *Tensor) shape() string { return fmt.Sprintf("%dx%d", t.Rows, t.Cols) }
+
+// Value is a node in the autodiff graph: a tensor plus (optionally) its
+// gradient and backward function.
+type Value struct {
+	Val  *Tensor
+	Grad *Tensor
+
+	tape    *Tape
+	back    func()
+	isParam bool
+}
+
+// Tape records operations in creation order for reverse accumulation.
+type Tape struct {
+	nodes  []*Value
+	noGrad bool
+}
+
+// NewTape creates an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// NewInferenceTape creates a forward-only tape: no gradient buffers are
+// allocated and Backward panics. Use for pure inference — it roughly halves
+// allocation traffic, which dominates GNN forward cost on CPU.
+func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
+
+// Reset discards recorded operations (parameters keep their gradients only
+// until ZeroGrad).
+func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+
+func (tp *Tape) node(val *Tensor, back func()) *Value {
+	if tp.noGrad {
+		// Forward-only: no gradient buffer, no tape recording. Backward
+		// closures created by ops capture Values but are never invoked.
+		return &Value{Val: val, tape: tp}
+	}
+	v := &Value{Val: val, Grad: NewTensor(val.Rows, val.Cols), tape: tp, back: back}
+	tp.nodes = append(tp.nodes, v)
+	return v
+}
+
+// Const wraps a tensor as a leaf with no gradient flow out of it.
+func (tp *Tape) Const(t *Tensor) *Value {
+	return tp.node(t, nil)
+}
+
+// Param wraps a tensor as a trainable parameter. Parameters live across tape
+// resets; re-register them per forward pass via Watch.
+func Param(t *Tensor) *Value {
+	return &Value{Val: t, Grad: NewTensor(t.Rows, t.Cols), isParam: true}
+}
+
+// Watch registers a parameter on the tape for this forward pass.
+func (tp *Tape) Watch(p *Value) *Value {
+	if !p.isParam {
+		panic("autodiff: Watch on non-parameter")
+	}
+	p.tape = tp
+	tp.nodes = append(tp.nodes, p)
+	return p
+}
+
+// Backward runs reverse accumulation from a scalar output (1x1 tensor).
+func (tp *Tape) Backward(out *Value) {
+	if tp.noGrad {
+		panic("autodiff: Backward on an inference tape")
+	}
+	if out.Val.Rows != 1 || out.Val.Cols != 1 {
+		panic("autodiff: Backward requires a scalar output")
+	}
+	out.Grad.Data[0] = 1
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.back != nil {
+			n.back()
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package baselines implements the six competing schemes of Sec. 4:
+//
+//   - LPExact: exact LP via primal simplex — the role of the commercial
+//     solver (Gurobi) in the paper, exact at any scale it can afford.
+//   - GK: Garg–Könemann / Fleischer multiplicative-weights packing solver,
+//     (1-O(eps))-optimal with polynomial runtime; LPAuto switches between the
+//     two by problem size, mirroring how a commercial solver is the
+//     high-quality/slow reference at every scale.
+//   - POP: random flow partition into k subproblems with 1/k capacities [55].
+//   - ECMPWF: equal split over minimum-hop paths with water filling [35].
+//   - Backpressure: distributed queue-differential satellite routing [56].
+//   - Teal-like and HARP-like learned baselines live in this package too
+//     (teal.go, harp.go), built on the same autodiff substrate as SaTE.
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"sate/internal/lp"
+	"sate/internal/te"
+)
+
+// Solver computes a feasible TE allocation for a problem.
+type Solver interface {
+	Name() string
+	Solve(p *te.Problem) (*te.Allocation, error)
+}
+
+// LPExact solves the TE LP exactly with the dense simplex. Suitable for
+// small and mid-size instances; cost grows polynomially (the behaviour the
+// paper reports for commercial solvers).
+type LPExact struct{}
+
+// Name implements Solver.
+func (LPExact) Name() string { return "lp-exact" }
+
+// Solve implements Solver.
+func (LPExact) Solve(p *te.Problem) (*te.Allocation, error) {
+	rows, b, colOf := buildRows(p)
+	n := p.NumPaths()
+	c := make([]float64, n)
+	a := make([][]float64, len(b))
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	j := 0
+	for fi := range p.Flows {
+		for pi := range p.Flows[fi].Paths {
+			c[j] = 1
+			for _, r := range colOf(fi, pi) {
+				a[r][j] = 1
+			}
+			j++
+		}
+	}
+	_ = rows
+	res, err := lp.Maximize(c, a, b)
+	if err != nil {
+		return nil, err
+	}
+	alloc := te.NewAllocation(p)
+	j = 0
+	for fi := range p.Flows {
+		for pi := range p.Flows[fi].Paths {
+			alloc.X[fi][pi] = res.X[j]
+			j++
+		}
+	}
+	p.Trim(alloc) // numerical hygiene
+	return alloc, nil
+}
+
+// resource kinds for row construction
+const (
+	resLink = iota
+	resUp
+	resDown
+	resDemand
+)
+
+type resourceKey struct {
+	kind int
+	id   int
+}
+
+// buildRows enumerates the packing rows actually reachable by some path
+// variable: used links, finite up/down caps of active endpoints, and one
+// demand row per flow. It returns the row count via len(b), the bounds, and
+// a function giving the row indices of a (flow, path) column.
+func buildRows(p *te.Problem) (rows map[resourceKey]int, b []float64, colOf func(fi, pi int) []int) {
+	rows = make(map[resourceKey]int)
+	addRow := func(k resourceKey, bound float64) int {
+		if i, ok := rows[k]; ok {
+			return i
+		}
+		i := len(b)
+		rows[k] = i
+		b = append(b, bound)
+		return i
+	}
+	// Demand rows.
+	for fi, f := range p.Flows {
+		addRow(resourceKey{resDemand, fi}, f.DemandMbps)
+	}
+	// Link and access rows for links/nodes actually used by candidate paths.
+	for fi, f := range p.Flows {
+		for pi := range f.Paths {
+			for _, li := range p.PathLinks(fi, pi) {
+				addRow(resourceKey{resLink, li}, p.LinkCap[li])
+			}
+		}
+		if len(f.Paths) > 0 {
+			if len(p.UpCap) > 0 && !math.IsInf(p.UpCap[f.Src], 1) {
+				addRow(resourceKey{resUp, int(f.Src)}, p.UpCap[f.Src])
+			}
+			if len(p.DownCap) > 0 && !math.IsInf(p.DownCap[f.Dst], 1) {
+				addRow(resourceKey{resDown, int(f.Dst)}, p.DownCap[f.Dst])
+			}
+		}
+	}
+	colOf = func(fi, pi int) []int {
+		f := &p.Flows[fi]
+		var out []int
+		out = append(out, rows[resourceKey{resDemand, fi}])
+		for _, li := range p.PathLinks(fi, pi) {
+			out = append(out, rows[resourceKey{resLink, li}])
+		}
+		if len(p.UpCap) > 0 {
+			if r, ok := rows[resourceKey{resUp, int(f.Src)}]; ok {
+				out = append(out, r)
+			}
+		}
+		if len(p.DownCap) > 0 {
+			if r, ok := rows[resourceKey{resDown, int(f.Dst)}]; ok {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return rows, b, colOf
+}
+
+// LPAuto is the commercial-solver stand-in: exact simplex when the dense
+// tableau is affordable, Garg–Könemann otherwise. Either way it is the
+// slow, high-quality reference the paper calls "Gurobi".
+type LPAuto struct {
+	// MaxDenseCells bounds m*n for the simplex path (default 4e6).
+	MaxDenseCells int
+	// Epsilon for the GK path (default 0.05).
+	Epsilon float64
+}
+
+// Name implements Solver.
+func (LPAuto) Name() string { return "lp-auto" }
+
+// Solve implements Solver.
+func (s LPAuto) Solve(p *te.Problem) (*te.Allocation, error) {
+	maxCells := s.MaxDenseCells
+	if maxCells == 0 {
+		maxCells = 4_000_000
+	}
+	n := p.NumPaths()
+	_, b, _ := buildRows(p)
+	if len(b)*n <= maxCells {
+		return LPExact{}.Solve(p)
+	}
+	eps := s.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	return GK{Epsilon: eps}.Solve(p)
+}
+
+// Timed wraps a solver and records wall-clock solve latency.
+type Timed struct {
+	Inner Solver
+	// LastLatency is the duration of the most recent Solve call.
+	LastLatency time.Duration
+}
+
+// Name implements Solver.
+func (t *Timed) Name() string { return t.Inner.Name() }
+
+// Solve implements Solver.
+func (t *Timed) Solve(p *te.Problem) (*te.Allocation, error) {
+	start := time.Now()
+	a, err := t.Inner.Solve(p)
+	t.LastLatency = time.Since(start)
+	return a, err
+}

@@ -1,0 +1,150 @@
+// Package constellation defines satellite constellations as sets of orbital
+// shells and generates per-satellite orbits from shell parameters.
+//
+// A shell is a Walker-delta-style layer: P orbital planes spaced evenly in
+// RAAN, S satellites per plane spaced evenly in argument of latitude, with an
+// optional inter-plane phase factor. The constellations of the paper (Table 4)
+// are provided as constructors: Starlink Phase 1 (4 shells, 4236 satellites),
+// Iridium (66), and the two mid-size Starlink subsets (396 and 1584
+// satellites) used in the scale sweeps.
+package constellation
+
+import (
+	"fmt"
+	"math"
+
+	"sate/internal/orbit"
+)
+
+// Shell describes one orbital shell of a constellation.
+type Shell struct {
+	Name           string
+	AltitudeKm     float64
+	InclinationDeg float64
+	Planes         int     // number of orbital planes
+	SatsPerPlane   int     // satellites per plane
+	PhaseFactor    float64 // inter-plane phasing F in Walker notation (0..Planes-1)
+	RAANSpanDeg    float64 // total RAAN span covered by planes; 360 for delta patterns
+}
+
+// Count returns the number of satellites in the shell.
+func (s Shell) Count() int { return s.Planes * s.SatsPerPlane }
+
+// SatID identifies a satellite globally within a constellation.
+type SatID int
+
+// GridCoord locates a satellite within its shell's plane/slot grid. The paper
+// labels each satellite by (orbit number, intra-orbit satellite number); the
+// k-shortest-path algorithm of Appendix C operates on these coordinates.
+type GridCoord struct {
+	Shell int // shell index within the constellation
+	Plane int // orbital plane index within the shell
+	Slot  int // position within the plane
+}
+
+// Satellite is one propagable satellite.
+type Satellite struct {
+	ID    SatID
+	Grid  GridCoord
+	Orbit orbit.Orbit
+}
+
+// Constellation is a fully instantiated set of satellites organised in shells.
+type Constellation struct {
+	Name   string
+	Shells []Shell
+	Sats   []Satellite
+
+	shellOffset []int // starting SatID of each shell
+}
+
+// New instantiates a constellation from shell descriptions. Satellite IDs are
+// assigned shell by shell, plane-major within each shell, so that
+// ID = shellOffset + plane*SatsPerPlane + slot.
+func New(name string, shells []Shell) (*Constellation, error) {
+	c := &Constellation{Name: name, Shells: shells}
+	id := SatID(0)
+	for si, sh := range shells {
+		if sh.Planes <= 0 || sh.SatsPerPlane <= 0 {
+			return nil, fmt.Errorf("constellation %s shell %d: planes and sats per plane must be positive", name, si)
+		}
+		if sh.AltitudeKm <= 0 {
+			return nil, fmt.Errorf("constellation %s shell %d: altitude must be positive", name, si)
+		}
+		span := sh.RAANSpanDeg
+		if span == 0 {
+			span = 360
+		}
+		c.shellOffset = append(c.shellOffset, int(id))
+		for p := 0; p < sh.Planes; p++ {
+			raan := orbit.Deg(span) * float64(p) / float64(sh.Planes)
+			for s := 0; s < sh.SatsPerPlane; s++ {
+				u0 := 2 * math.Pi * (float64(s)/float64(sh.SatsPerPlane) +
+					sh.PhaseFactor*float64(p)/float64(sh.Planes*sh.SatsPerPlane))
+				c.Sats = append(c.Sats, Satellite{
+					ID:   id,
+					Grid: GridCoord{Shell: si, Plane: p, Slot: s},
+					Orbit: orbit.Orbit{
+						AltitudeKm:     sh.AltitudeKm,
+						InclinationRad: orbit.Deg(sh.InclinationDeg),
+						RAANRad:        raan,
+						ArgLatRad:      u0,
+					},
+				})
+				id++
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for the built-in, known-good presets.
+func MustNew(name string, shells []Shell) *Constellation {
+	c, err := New(name, shells)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the total number of satellites.
+func (c *Constellation) Size() int { return len(c.Sats) }
+
+// ShellOf returns the shell index of a satellite.
+func (c *Constellation) ShellOf(id SatID) int { return c.Sats[id].Grid.Shell }
+
+// SatAt returns the satellite at the given grid coordinate.
+func (c *Constellation) SatAt(g GridCoord) *Satellite {
+	sh := c.Shells[g.Shell]
+	idx := c.shellOffset[g.Shell] + g.Plane*sh.SatsPerPlane + g.Slot
+	return &c.Sats[idx]
+}
+
+// ShellSats returns the satellites of one shell, in ID order.
+func (c *Constellation) ShellSats(shell int) []Satellite {
+	start := c.shellOffset[shell]
+	end := start + c.Shells[shell].Count()
+	return c.Sats[start:end]
+}
+
+// PositionsECEF computes Earth-fixed positions of all satellites at time t
+// (seconds after epoch). The result is indexed by SatID. If dst is non-nil and
+// has the right length it is reused to avoid allocation.
+func (c *Constellation) PositionsECEF(tSec float64, dst []orbit.Vec3) []orbit.Vec3 {
+	if len(dst) != len(c.Sats) {
+		dst = make([]orbit.Vec3, len(c.Sats))
+	}
+	for i := range c.Sats {
+		dst[i] = c.Sats[i].Orbit.PositionECEF(tSec)
+	}
+	return dst
+}
+
+// Neighbor returns the grid coordinate displaced by dPlane planes and dSlot
+// slots within the same shell, with toroidal wrap-around in both dimensions.
+func (c *Constellation) Neighbor(g GridCoord, dPlane, dSlot int) GridCoord {
+	sh := c.Shells[g.Shell]
+	p := ((g.Plane+dPlane)%sh.Planes + sh.Planes) % sh.Planes
+	s := ((g.Slot+dSlot)%sh.SatsPerPlane + sh.SatsPerPlane) % sh.SatsPerPlane
+	return GridCoord{Shell: g.Shell, Plane: p, Slot: s}
+}

@@ -1,0 +1,246 @@
+// Package controller implements the TE control center of Fig. 3 as an HTTP
+// service: it periodically builds the TE problem from the live scenario
+// state, computes an allocation with a pluggable solver (SaTE or any
+// baseline), compiles it into per-satellite rules, and serves status,
+// allocations and flow tables over JSON — the interface satellites (or an
+// operator) would poll in the SDN workflow of Sec. 2.2.
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"sate/internal/rules"
+	"sate/internal/sim"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// Server is the control-center state machine plus its HTTP handlers.
+type Server struct {
+	scen   *sim.Scenario
+	solver sim.Allocator
+
+	mu    sync.Mutex
+	state *cycleState
+}
+
+// cycleState is the outcome of one TE workflow cycle.
+type cycleState struct {
+	TimeSec      float64
+	Problem      *te.Problem
+	Alloc        *te.Allocation
+	Rules        *rules.RuleSet
+	SolveLatency time.Duration
+	ComputedAt   time.Time
+}
+
+// New creates a controller over a scenario with the given solver.
+func New(scen *sim.Scenario, solver sim.Allocator) *Server {
+	return &Server{scen: scen, solver: solver}
+}
+
+// Recompute runs one full TE workflow cycle at simulated time t: traffic
+// matrix acquisition, topology determination, path (re)configuration, TE
+// computation, and rule compilation. It returns the new cycle state.
+func (s *Server) Recompute(tSec float64) error {
+	p, _, _, err := s.scen.ProblemAt(tSec)
+	if err != nil {
+		return fmt.Errorf("controller: building problem: %w", err)
+	}
+	start := time.Now()
+	alloc, err := s.solver.Solve(p)
+	lat := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("controller: solving: %w", err)
+	}
+	rs := rules.Compile(p, alloc)
+	if err := rules.Verify(p, alloc, rs); err != nil {
+		return fmt.Errorf("controller: rule verification: %w", err)
+	}
+	s.mu.Lock()
+	s.state = &cycleState{
+		TimeSec: tSec, Problem: p, Alloc: alloc, Rules: rs,
+		SolveLatency: lat, ComputedAt: time.Now(),
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /allocation", s.handleAllocation)
+	mux.HandleFunc("GET /rules", s.handleRules)
+	mux.HandleFunc("POST /recompute", s.handleRecompute)
+	return mux
+}
+
+func (s *Server) snapshot() *cycleState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// StatusResponse is the /status payload.
+type StatusResponse struct {
+	Method          string  `json:"method"`
+	TimeSec         float64 `json:"time_sec"`
+	Flows           int     `json:"flows"`
+	TotalDemandMbps float64 `json:"total_demand_mbps"`
+	ThroughputMbps  float64 `json:"throughput_mbps"`
+	SatisfiedFrac   float64 `json:"satisfied_frac"`
+	MLU             float64 `json:"mlu"`
+	SolveLatencyMs  float64 `json:"solve_latency_ms"`
+	NumRules        int     `json:"num_rules"`
+	ComputedAtUnix  int64   `json:"computed_at_unix"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, StatusResponse{
+		Method:          s.solver.Name(),
+		TimeSec:         st.TimeSec,
+		Flows:           len(st.Problem.Flows),
+		TotalDemandMbps: st.Problem.TotalDemand(),
+		ThroughputMbps:  st.Alloc.Throughput(),
+		SatisfiedFrac:   st.Problem.SatisfiedDemand(st.Alloc),
+		MLU:             st.Problem.MLU(st.Alloc),
+		SolveLatencyMs:  float64(st.SolveLatency.Nanoseconds()) / 1e6,
+		NumRules:        st.Rules.NumRules(),
+		ComputedAtUnix:  st.ComputedAt.Unix(),
+	})
+}
+
+// AllocationEntry is one flow's allocation in the /allocation payload.
+type AllocationEntry struct {
+	Src        int       `json:"src"`
+	Dst        int       `json:"dst"`
+	DemandMbps float64   `json:"demand_mbps"`
+	RateMbps   float64   `json:"rate_mbps"`
+	PerPath    []float64 `json:"per_path_mbps"`
+}
+
+func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
+		return
+	}
+	out := make([]AllocationEntry, 0, len(st.Problem.Flows))
+	for fi, f := range st.Problem.Flows {
+		out = append(out, AllocationEntry{
+			Src:        int(f.Src),
+			Dst:        int(f.Dst),
+			DemandMbps: f.DemandMbps,
+			RateMbps:   st.Alloc.FlowThroughput(fi),
+			PerPath:    append([]float64(nil), st.Alloc.X[fi]...),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// RuleEntry is one flow-table row in the /rules payload.
+type RuleEntry struct {
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	Label    int     `json:"label"`
+	Next     int     `json:"next"`
+	RateMbps float64 `json:"rate_mbps"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
+		return
+	}
+	nodeStr := r.URL.Query().Get("node")
+	if nodeStr == "" {
+		http.Error(w, "missing ?node=<id>", http.StatusBadRequest)
+		return
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil || node < 0 || node >= st.Problem.NumNodes {
+		http.Error(w, "invalid node id", http.StatusBadRequest)
+		return
+	}
+	out := []RuleEntry{}
+	if tbl := st.Rules.Tables[topology.NodeID(node)]; tbl != nil {
+		for _, rule := range tbl.Rules {
+			out = append(out, RuleEntry{
+				Src:      int(rule.Flow.Src),
+				Dst:      int(rule.Flow.Dst),
+				Label:    rule.Label,
+				Next:     int(rule.Next),
+				RateMbps: rule.RateMbps,
+			})
+		}
+	}
+	writeJSON(w, out)
+}
+
+// recomputeRequest is the /recompute body.
+type recomputeRequest struct {
+	TimeSec float64 `json:"time_sec"`
+}
+
+func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
+	var req recomputeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.TimeSec < 0 {
+		http.Error(w, "time_sec must be non-negative", http.StatusBadRequest)
+		return
+	}
+	if err := s.Recompute(req.TimeSec); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.handleStatus(w, r)
+}
+
+// Run drives the periodic TE workflow: every interval of wall time it
+// advances simulated time by the same amount and recomputes. It blocks until
+// the stop channel closes.
+func (s *Server) Run(startSec, intervalSec float64, stop <-chan struct{}) error {
+	t := startSec
+	if err := s.Recompute(t); err != nil {
+		return err
+	}
+	ticker := time.NewTicker(time.Duration(intervalSec * float64(time.Second)))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			t += intervalSec
+			if err := s.Recompute(t); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package core implements SaTE itself: the heterogeneous satellite TE graph
+// of Fig. 6 (a), its reduction to the three relation types R1/R2/R3 of
+// Fig. 6 (b), the embedding initialisation of Fig. 7, the three sequential
+// attention-GNN modules with MLP decoder, the constraint-violation
+// correction, the mixed supervised + penalty loss of Appendix B (Eq. 4-5),
+// the training loop, and the traffic/path pruning volume accounting of
+// Sec. 3.4 (Table 1).
+package core
+
+import (
+	"sate/internal/gnn"
+	"sate/internal/te"
+)
+
+// TEGraph is the reduced satellite TE graph (Fig. 6 b) extracted from a TE
+// problem instance. Node universes:
+//
+//	satellites: the problem's nodes (satellites plus ground relays)
+//	paths:      one node per (flow, path) candidate
+//	traffic:    one node per flow (non-zero traffic-matrix entry)
+//
+// Relations (each stored with both directions where both sides are updated):
+//
+//	R1 connect:    satellite <-> satellite, edge feature = link capacity
+//	R2 crosses:    satellite <-> path, edge feature = position within path
+//	R3 transports: traffic  <-> path, edge feature = #candidate paths
+//
+// The pruning of Sec. 3.4 is inherent: only non-zero traffic entries and
+// their candidate paths appear, so graph size scales with live demand, not
+// with N^2.
+type TEGraph struct {
+	NumSats    int
+	NumPaths   int
+	NumTraffic int
+
+	// Raw scalar features for embedding initialisation (Fig. 7).
+	SatFeat     []float64 // NE1 input: #neighbors
+	PathFeat    []float64 // NE2 input: path length (hops)
+	TrafficFeat []float64 // NE3 input: traffic demand
+
+	R1 gnn.EdgeList // sat -> sat (directed both ways)
+	R2 gnn.EdgeList // sat -> path (use Reverse() for path -> sat)
+	R3 gnn.EdgeList // traffic -> path (use Reverse() for path -> traffic)
+
+	R1Feat []float64 // EE1 input per R1 edge: link capacity
+	R2Feat []float64 // EE2 input per R2 edge: node's position in path
+	R3Feat []float64 // EE3 input per R3 edge: #candidate paths of the flow
+
+	// Access is the redundant satellite->traffic "access" relation of the
+	// full graph (Fig. 6 a). SaTE's reduction removes it — it is kept here
+	// only so the graph-reduction ablation can measure its cost; the default
+	// model ignores it.
+	Access     gnn.EdgeList
+	AccessFeat []float64
+
+	// VarFlow maps each path node (variable) to its flow index, and
+	// FlowVars lists path-node indices per flow — the decoder's alignment
+	// between graph nodes and allocation variables x_fp.
+	VarFlow  []int
+	FlowVars [][]int
+}
+
+// Feature scales keep raw inputs O(1) for the neural network. They are fixed
+// constants (not fitted), documented here so that saved models remain valid.
+const (
+	featDegreeScale   = 0.25  // satellite degree ~4
+	featHopsScale     = 0.1   // path length ~10 hops
+	featDemandScale   = 0.02  // demands ~50 Mbps
+	featCapacityScale = 0.005 // link capacity ~200 Mbps
+	featPathsScale    = 0.1   // ~10 candidate paths
+)
+
+// BuildTEGraph extracts the reduced TE graph from a problem.
+func BuildTEGraph(p *te.Problem) *TEGraph {
+	g := &TEGraph{NumSats: p.NumNodes}
+
+	// R1: satellite interconnection, both directions, capacity feature.
+	deg := make([]float64, p.NumNodes)
+	for li, l := range p.Links {
+		a, b := int(l.A), int(l.B)
+		cap := p.LinkCap[li] * featCapacityScale
+		g.R1.Src = append(g.R1.Src, a, b)
+		g.R1.Dst = append(g.R1.Dst, b, a)
+		g.R1Feat = append(g.R1Feat, cap, cap)
+		deg[a]++
+		deg[b]++
+	}
+	g.SatFeat = make([]float64, p.NumNodes)
+	for i, d := range deg {
+		g.SatFeat[i] = d * featDegreeScale
+	}
+
+	// Path and traffic nodes; R2 and R3.
+	for fi := range p.Flows {
+		f := &p.Flows[fi]
+		ti := g.NumTraffic
+		g.NumTraffic++
+		g.TrafficFeat = append(g.TrafficFeat, f.DemandMbps*featDemandScale)
+		nCand := float64(len(f.Paths)) * featPathsScale
+		var vars []int
+		for pi := range f.Paths {
+			pn := g.NumPaths
+			g.NumPaths++
+			path := f.Paths[pi]
+			g.PathFeat = append(g.PathFeat, float64(path.Hops())*featHopsScale)
+			vars = append(vars, pn)
+			g.VarFlow = append(g.VarFlow, fi)
+			// R2: each satellite the path crosses.
+			n := len(path.Nodes)
+			for i, node := range path.Nodes {
+				pos := 0.0
+				if n > 1 {
+					pos = float64(i) / float64(n-1)
+				}
+				g.R2.Src = append(g.R2.Src, int(node))
+				g.R2.Dst = append(g.R2.Dst, pn)
+				g.R2Feat = append(g.R2Feat, pos)
+			}
+			// R3: the flow's traffic node transports over this path.
+			g.R3.Src = append(g.R3.Src, ti)
+			g.R3.Dst = append(g.R3.Dst, pn)
+			g.R3Feat = append(g.R3Feat, nCand)
+		}
+		g.FlowVars = append(g.FlowVars, vars)
+		// Redundant access relation (ablation only): the flow's endpoints.
+		g.Access.Src = append(g.Access.Src, int(f.Src), int(f.Dst))
+		g.Access.Dst = append(g.Access.Dst, ti, ti)
+		g.AccessFeat = append(g.AccessFeat, f.DemandMbps*featDemandScale, f.DemandMbps*featDemandScale)
+	}
+	return g
+}
+
+// FullGraphRelations counts the relations of the unreduced heterogeneous
+// graph of Fig. 6 (a) for the same problem: in addition to R1-R3 it carries
+// the redundant "access" (satellite-traffic) edges and explicit link nodes
+// with their "contains" (path-link) and incidence (link-satellite) edges.
+// Used by the graph-reduction ablation to quantify what the reduction saves.
+func FullGraphRelations(p *te.Problem) (reduced, full int) {
+	g := BuildTEGraph(p)
+	reduced = g.R1.Len() + g.R2.Len() + g.R3.Len()
+	full = reduced
+	// access: src and dst satellite of every flow.
+	full += 2 * len(p.Flows)
+	// link nodes: one per link, 2 incidence edges each.
+	full += 2 * len(p.Links)
+	// contains: one edge per (path, link) incidence.
+	for fi := range p.Flows {
+		for pi := range p.Flows[fi].Paths {
+			full += len(p.PathLinks(fi, pi))
+		}
+	}
+	return reduced, full
+}

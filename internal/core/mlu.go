@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sate/internal/autodiff"
+	"sate/internal/te"
+)
+
+// TrainMLU fits the model for the minimise-max-link-utilisation objective of
+// Appendix H.2. Training is self-supervised: the allocation must route all
+// demand (the MLU problem's convention — gates are ignored, the softmax
+// split carries full demand) and the loss is a smooth-max (scaled
+// sum-exp) surrogate of MLU over link utilisations.
+//
+// The paper notes SaTE's MLU variant "directly repurposes the
+// throughput-maximizing GNN's objective", retaining components not perfectly
+// suited to MLU — reproduced here by keeping the architecture identical and
+// swapping only the loss.
+func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64) ([]float64, error) {
+	if len(problems) == 0 {
+		return nil, fmt.Errorf("core: no training problems")
+	}
+	opt := autodiff.NewAdam(lr, m.Params()...)
+	opt.ClipNorm = 5
+	var perEpoch []float64
+	const beta = 8.0
+	for ep := 0; ep < epochs; ep++ {
+		var sum float64
+		for _, p := range problems {
+			g := BuildTEGraph(p)
+			if g.NumPaths == 0 {
+				continue
+			}
+			tp := autodiff.NewTape()
+			scores, _ := m.Forward(tp, g)
+			alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
+			demand := make([]float64, g.NumPaths)
+			for j, fi := range g.VarFlow {
+				demand[j] = p.Flows[fi].DemandMbps
+			}
+			x := tp.Mul(alpha, tp.Const(autodiff.FromSlice(g.NumPaths, 1, demand)))
+
+			var varIdx, linkIdx []int
+			for fi, vars := range g.FlowVars {
+				for pi, j := range vars {
+					for _, li := range p.PathLinks(fi, pi) {
+						varIdx = append(varIdx, j)
+						linkIdx = append(linkIdx, li)
+					}
+				}
+			}
+			if len(varIdx) == 0 {
+				continue
+			}
+			loads := tp.ScatterAddRows(tp.Gather(x, varIdx), linkIdx, len(p.Links))
+			invCap := make([]float64, len(p.Links))
+			for i, c := range p.LinkCap {
+				if c > 0 {
+					invCap[i] = 1 / c
+				}
+			}
+			util := tp.Mul(loads, tp.Const(autodiff.FromSlice(len(p.Links), 1, invCap)))
+			loss := tp.Scale(tp.SumAll(tp.Exp(tp.Scale(util, beta))), 1/beta)
+			opt.ZeroGrad()
+			tp.Backward(loss)
+			opt.Step()
+			lv := loss.Val.Data[0]
+			if math.IsNaN(lv) || math.IsInf(lv, 0) {
+				return nil, fmt.Errorf("core: MLU loss diverged at epoch %d", ep)
+			}
+			sum += lv
+		}
+		perEpoch = append(perEpoch, sum/float64(len(problems)))
+	}
+	return perEpoch, nil
+}
+
+// SolveMLU computes an allocation under the MLU objective: full demand is
+// routed via the softmax split (no gating), then trimmed for feasibility.
+func (m *Model) SolveMLU(p *te.Problem) (*te.Allocation, error) {
+	g := BuildTEGraph(p)
+	alloc := te.NewAllocation(p)
+	if g.NumPaths == 0 {
+		return alloc, nil
+	}
+	tp := autodiff.NewInferenceTape()
+	scores, _ := m.Forward(tp, g)
+	alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
+	for fi, vars := range g.FlowVars {
+		for pi, j := range vars {
+			alloc.X[fi][pi] = alpha.Val.Data[j] * p.Flows[fi].DemandMbps
+		}
+	}
+	p.Trim(alloc)
+	return alloc, nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/rand"
+
+	"sate/internal/autodiff"
+	"sate/internal/gnn"
+	"sate/internal/te"
+)
+
+// Config holds the SaTE model hyperparameters.
+type Config struct {
+	// EmbedDim is the node/edge embedding dimension. The paper uses 768 on
+	// an A100; the CPU default here is 32 — the architecture is unchanged
+	// and the dimension is a knob (see DESIGN.md substitutions).
+	EmbedDim int
+	// Heads is the number of attention heads per GAT layer.
+	Heads int
+	// LayersR1, LayersR2, LayersR3 are the message-passing depths of the
+	// three GNN modules (Appendix B: chosen as the minimum without
+	// performance degradation, favouring inference latency).
+	LayersR1, LayersR2, LayersR3 int
+	// DecoderHidden is the decoder MLP hidden width.
+	DecoderHidden int
+	Seed          int64
+	// AccessRelation re-adds the redundant satellite-traffic "access"
+	// relation that SaTE's graph reduction removes (Sec. 3.2). Used only by
+	// the graph-reduction ablation to measure the latency the reduction
+	// saves; leave false for the SaTE model proper.
+	AccessRelation bool
+	// UniformAttention replaces learned attention with mean aggregation in
+	// every GAT layer (the attention ablation). Leave false for SaTE proper.
+	UniformAttention bool
+}
+
+// DefaultConfig returns the CPU-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		EmbedDim: 32, Heads: 2,
+		LayersR1: 2, LayersR2: 2, LayersR3: 1,
+		DecoderHidden: 64,
+		Seed:          1,
+	}
+}
+
+// Model is the SaTE GNN (Fig. 7): three sequential attention modules over
+// R1, R2, R3 plus an MLP decoder producing the traffic allocation.
+type Model struct {
+	Cfg Config
+
+	// Embedding-initialisation weight matrices (the W of Fig. 7's table):
+	// scalar feature x (1 x d) learnable row.
+	wNE1, wNE2, wNE3 *autodiff.Value
+	wEE1, wEE2, wEE3 *autodiff.Value
+
+	r1 *gnn.Stack // satellite <-> satellite
+	// R2: satellite and path embeddings updated concurrently per layer.
+	r2SatToPath []*gnn.GATLayer
+	r2PathToSat []*gnn.GATLayer
+	// R3: path and traffic embeddings refined together.
+	r3TrafficToPath []*gnn.GATLayer
+	r3PathToTraffic []*gnn.GATLayer
+	// Ablation-only redundant access relation (nil in the SaTE model).
+	accessSatToTraffic *gnn.GATLayer
+	accessTrafficToSat *gnn.GATLayer
+
+	decoder *gnn.MLP
+
+	params []*autodiff.Value
+}
+
+// NewModel builds a SaTE model.
+func NewModel(cfg Config) *Model {
+	if cfg.EmbedDim == 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.EmbedDim
+	m := &Model{Cfg: cfg}
+
+	mkW := func() *autodiff.Value {
+		return autodiff.Param(autodiff.NewTensor(1, d).Randn(rng, 0.5))
+	}
+	m.wNE1, m.wNE2, m.wNE3 = mkW(), mkW(), mkW()
+	m.wEE1, m.wEE2, m.wEE3 = mkW(), mkW(), mkW()
+
+	m.r1 = gnn.NewStack(rng, cfg.LayersR1, d, d, cfg.Heads)
+	for i := 0; i < cfg.LayersR2; i++ {
+		m.r2SatToPath = append(m.r2SatToPath, gnn.NewGATLayer(rng, d, d, d, cfg.Heads, d/cfg.Heads))
+		m.r2PathToSat = append(m.r2PathToSat, gnn.NewGATLayer(rng, d, d, d, cfg.Heads, d/cfg.Heads))
+	}
+	for i := 0; i < cfg.LayersR3; i++ {
+		m.r3TrafficToPath = append(m.r3TrafficToPath, gnn.NewGATLayer(rng, d, d, d, cfg.Heads, d/cfg.Heads))
+		m.r3PathToTraffic = append(m.r3PathToTraffic, gnn.NewGATLayer(rng, d, d, d, cfg.Heads, d/cfg.Heads))
+	}
+	if cfg.AccessRelation {
+		m.accessSatToTraffic = gnn.NewGATLayer(rng, d, d, d, cfg.Heads, d/cfg.Heads)
+		m.accessTrafficToSat = gnn.NewGATLayer(rng, d, d, d, cfg.Heads, d/cfg.Heads)
+	}
+	m.decoder = gnn.NewMLP(rng, 2*d, cfg.DecoderHidden, 2)
+	// Start the gate (decoder column 1) well inside the sigmoid's active
+	// region: under heavy overload the penalty term pushes gates down hard,
+	// and a gate that saturates at zero early stops learning entirely.
+	m.decoder.SetOutputBias(1, 1.5)
+
+	m.params = []*autodiff.Value{m.wNE1, m.wNE2, m.wNE3, m.wEE1, m.wEE2, m.wEE3}
+	m.params = append(m.params, m.r1.Params()...)
+	for i := range m.r2SatToPath {
+		m.params = append(m.params, m.r2SatToPath[i].Params()...)
+		m.params = append(m.params, m.r2PathToSat[i].Params()...)
+	}
+	for i := range m.r3TrafficToPath {
+		m.params = append(m.params, m.r3TrafficToPath[i].Params()...)
+		m.params = append(m.params, m.r3PathToTraffic[i].Params()...)
+	}
+	if m.accessSatToTraffic != nil {
+		m.params = append(m.params, m.accessSatToTraffic.Params()...)
+		m.params = append(m.params, m.accessTrafficToSat.Params()...)
+	}
+	m.params = append(m.params, m.decoder.Params()...)
+	if cfg.UniformAttention {
+		for _, l := range m.r1.Layers {
+			l.Uniform = true
+		}
+		for i := range m.r2SatToPath {
+			m.r2SatToPath[i].Uniform = true
+			m.r2PathToSat[i].Uniform = true
+		}
+		for i := range m.r3TrafficToPath {
+			m.r3TrafficToPath[i].Uniform = true
+			m.r3PathToTraffic[i].Uniform = true
+		}
+	}
+	return m
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*autodiff.Value { return m.params }
+
+// NumParams returns the count of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += len(p.Val.Data)
+	}
+	return n
+}
+
+// embed initialises an embedding matrix from a scalar feature column:
+// rows x 1 feature times 1 x d learnable weight (Fig. 7 table).
+func (m *Model) embed(tp *autodiff.Tape, feat []float64, w *autodiff.Value) *autodiff.Value {
+	tp.Watch(w)
+	col := autodiff.FromSlice(len(feat), 1, append([]float64(nil), feat...))
+	return tp.MatMul(tp.Const(col), w)
+}
+
+// Forward runs the three GNN modules and the decoder, returning the raw
+// per-variable outputs: scores (for the per-flow softmax) and gates. Both
+// are NumPaths x 1.
+func (m *Model) Forward(tp *autodiff.Tape, g *TEGraph) (scores, gates *autodiff.Value) {
+	// Embedding initialisation (Fig. 7).
+	sat := m.embed(tp, g.SatFeat, m.wNE1)
+	path := m.embed(tp, g.PathFeat, m.wNE2)
+	trf := m.embed(tp, g.TrafficFeat, m.wNE3)
+	ee1 := m.embed(tp, g.R1Feat, m.wEE1)
+	ee2 := m.embed(tp, g.R2Feat, m.wEE2)
+	ee3 := m.embed(tp, g.R3Feat, m.wEE3)
+
+	// Module 1: GNN for R1 — satellite embeddings.
+	sat = m.r1.Forward(tp, sat, ee1, g.R1)
+
+	// Ablation-only: process the redundant access relation the way the full
+	// graph of Fig. 6 (a) requires — an extra message-passing module whose
+	// cost the reduction eliminates.
+	if m.accessSatToTraffic != nil && g.Access.Len() > 0 {
+		eeA := m.embed(tp, g.AccessFeat, m.wEE1)
+		newTrf := m.accessSatToTraffic.Forward(tp, trf, sat, eeA, g.Access)
+		newSat := m.accessTrafficToSat.Forward(tp, sat, trf, eeA, g.Access.Reverse())
+		trf = tp.Add(newTrf, trf)
+		sat = tp.Add(newSat, sat)
+	}
+
+	// Module 2: GNN for R2 — satellite and path embeddings concurrently.
+	for i := range m.r2SatToPath {
+		newPath := m.r2SatToPath[i].Forward(tp, path, sat, ee2, g.R2)
+		newSat := m.r2PathToSat[i].Forward(tp, sat, path, ee2, g.R2.Reverse())
+		path = tp.Add(newPath, path) // residual
+		sat = tp.Add(newSat, sat)
+	}
+
+	// Module 3: GNN for R3 — path and traffic embeddings together.
+	for i := range m.r3TrafficToPath {
+		newPath := m.r3TrafficToPath[i].Forward(tp, path, trf, ee3, g.R3)
+		newTrf := m.r3PathToTraffic[i].Forward(tp, trf, path, ee3, g.R3.Reverse())
+		path = tp.Add(newPath, path)
+		trf = tp.Add(newTrf, trf)
+	}
+
+	// Decoder: per path variable, concat(path embedding, its flow's traffic
+	// embedding) -> [score, gate].
+	if g.NumPaths == 0 {
+		zero := tp.Const(autodiff.NewTensor(0, 1))
+		return zero, zero
+	}
+	trfPerVar := tp.Gather(trf, g.VarFlow)
+	dec := m.decoder.Forward(tp, tp.Concat(path, trfPerVar)) // NumPaths x 2
+	return colSlice(tp, dec, 0), colSlice(tp, dec, 1)
+}
+
+// colSlice extracts one column of a two-column value as an n x 1 value.
+func colSlice(tp *autodiff.Tape, v *autodiff.Value, col int) *autodiff.Value {
+	// Multiply by a constant selector matrix (cols x 1).
+	sel := autodiff.NewTensor(v.Val.Cols, 1)
+	sel.Set(col, 0, 1)
+	return tp.MatMul(v, tp.Const(sel))
+}
+
+// Allocate runs the model and converts scores/gates into an allocation:
+// x_fp = demand_f * sigmoid(gate_fp) * softmax_p(score_fp). The form makes
+// the demand constraint (2.e) hold by construction; link and access caps are
+// enforced afterwards by trimming (Sec. 3.3, correction step).
+func (m *Model) Allocate(tp *autodiff.Tape, g *TEGraph, p *te.Problem) *autodiff.Value {
+	scores, gates := m.Forward(tp, g)
+	if g.NumPaths == 0 {
+		return scores
+	}
+	alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
+	// Soft-clamped gate pre-activations: under heavy overload the penalty
+	// term drives gates far negative; the clamp keeps them inside the
+	// sigmoid's responsive band so they can recover when load drops.
+	gate := tp.Sigmoid(tp.SoftClamp(gates, -4, 4, 0.25))
+	mix := tp.Mul(alpha, gate)
+	demand := make([]float64, g.NumPaths)
+	for j, fi := range g.VarFlow {
+		demand[j] = p.Flows[fi].DemandMbps
+	}
+	dcol := tp.Const(autodiff.FromSlice(g.NumPaths, 1, demand))
+	return tp.Mul(mix, dcol)
+}
+
+// Solve implements the baselines.Solver interface: graph construction,
+// GNN inference, decoding, and the feasibility correction.
+func (m *Model) Solve(p *te.Problem) (*te.Allocation, error) {
+	g := BuildTEGraph(p)
+	tp := autodiff.NewInferenceTape()
+	x := m.Allocate(tp, g, p)
+	alloc := te.NewAllocation(p)
+	for fi, vars := range g.FlowVars {
+		for pi, j := range vars { // variables were appended in path order
+			alloc.X[fi][pi] = x.Val.Data[j]
+		}
+	}
+	p.Trim(alloc)
+	return alloc, nil
+}
+
+// Name implements the baselines.Solver interface.
+func (m *Model) Name() string { return "sate" }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// modelFile is the on-disk representation of a trained model: the
+// hyperparameters plus every parameter tensor in Params() order (which is
+// deterministic for a given Config).
+type modelFile struct {
+	Version int
+	Cfg     Config
+	Shapes  [][2]int
+	Data    [][]float64
+}
+
+const modelFileVersion = 1
+
+// Save writes the model (hyperparameters + weights) to w with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{Version: modelFileVersion, Cfg: m.Cfg}
+	for _, p := range m.params {
+		f.Shapes = append(f.Shapes, [2]int{p.Val.Rows, p.Val.Cols})
+		f.Data = append(f.Data, append([]float64(nil), p.Val.Data...))
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// Load reads a model saved by Save. The architecture is rebuilt from the
+// stored Config and the weights restored; the result is ready for inference
+// or further training.
+func Load(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if f.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: unsupported model file version %d", f.Version)
+	}
+	m := NewModel(f.Cfg)
+	if len(f.Data) != len(m.params) {
+		return nil, fmt.Errorf("core: model file has %d tensors, architecture needs %d", len(f.Data), len(m.params))
+	}
+	for i, p := range m.params {
+		if f.Shapes[i] != [2]int{p.Val.Rows, p.Val.Cols} {
+			return nil, fmt.Errorf("core: tensor %d shape %v, want %dx%d", i, f.Shapes[i], p.Val.Rows, p.Val.Cols)
+		}
+		copy(p.Val.Data, f.Data[i])
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sate/internal/baselines"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := buildScenario(t, 0, 60, 61)
+	m := NewModel(DefaultConfig())
+	a1, err := m.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m2.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.Throughput()-a2.Throughput()) > 1e-12 {
+		t.Errorf("loaded model differs: %v vs %v", a1.Throughput(), a2.Throughput())
+	}
+	for fi := range a1.X {
+		for pi := range a1.X[fi] {
+			if math.Abs(a1.X[fi][pi]-a2.X[fi][pi]) > 1e-12 {
+				t.Fatalf("allocation differs at [%d][%d]", fi, pi)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumParams() != m.NumParams() {
+		t.Errorf("params %d vs %d", m2.NumParams(), m.NumParams())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSaveLoadPreservesTraining(t *testing.T) {
+	// A trained model must survive the round trip with its learned weights.
+	p := buildScenario(t, 0, 60, 63)
+	ref, err := (baselines.LPExact{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(DefaultConfig())
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 10
+	if _, err := Train(m, []*Sample{NewSample(p, ref)}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := m.Solve(p)
+	a2, _ := m2.Solve(p)
+	if math.Abs(a1.Throughput()-a2.Throughput()) > 1e-9 {
+		t.Error("trained weights not preserved")
+	}
+}

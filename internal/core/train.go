@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sate/internal/autodiff"
+	"sate/internal/te"
+)
+
+// LossConfig holds the hyperparameters of the mixed loss of Appendix B.
+type LossConfig struct {
+	LambdaFlow    float64 // weights total-flow reward in the penalty term
+	LambdaBalance float64 // balances supervised vs penalized-optimization terms
+	AlphaMax      float64 // utilisation clamp inside the exp of Eq. (5)
+}
+
+// DefaultLossConfig returns the grid-searched defaults. The supervised term
+// is the anchor (its labels are feasible by construction); the penalized-
+// optimization term nudges toward higher flow and away from overload without
+// being allowed to dominate early training — a large balance keeps the
+// overload penalty from crashing the gates before the supervised signal
+// differentiates paths (feasibility at inference is guaranteed by trimming).
+func DefaultLossConfig() LossConfig {
+	return LossConfig{LambdaFlow: 1.0, LambdaBalance: 40.0, AlphaMax: 2.0}
+}
+
+// Sample is one training data point: a TE problem with ground-truth labels
+// produced by the reference solver (the paper uses Gurobi; here the exact
+// simplex / GK solver).
+type Sample struct {
+	Problem *te.Problem
+	Graph   *TEGraph
+	// Labels are the optimal x*_fp aligned with Graph variable order.
+	Labels []float64
+}
+
+// NewSample builds a training sample from a problem and a reference
+// allocation.
+func NewSample(p *te.Problem, ref *te.Allocation) *Sample {
+	g := BuildTEGraph(p)
+	labels := make([]float64, g.NumPaths)
+	for fi, vars := range g.FlowVars {
+		for pi, j := range vars {
+			labels[j] = ref.X[fi][pi]
+		}
+	}
+	return &Sample{Problem: p, Graph: g, Labels: labels}
+}
+
+// SupervisedLoss computes only the supervised term (demand-normalised MSE
+// against the reference labels). Training warm-starts on it before blending
+// in the penalized-optimization term: with heavy overload the penalty can
+// crash an undifferentiated model into a dead all-zero allocation, whereas
+// the labels are feasible by construction and anchor the model first.
+func SupervisedLoss(tp *autodiff.Tape, s *Sample, x *autodiff.Value) *autodiff.Value {
+	g := s.Graph
+	p := s.Problem
+	if g.NumPaths == 0 {
+		return tp.Const(autodiff.NewTensor(1, 1))
+	}
+	invD := make([]float64, g.NumPaths)
+	labN := make([]float64, g.NumPaths)
+	for j, fi := range g.VarFlow {
+		d := p.Flows[fi].DemandMbps
+		if d <= 0 {
+			d = 1
+		}
+		invD[j] = 1 / d
+		labN[j] = s.Labels[j] / d
+	}
+	xn := tp.Mul(x, tp.Const(autodiff.FromSlice(g.NumPaths, 1, invD)))
+	return tp.MSE(xn, tp.Const(autodiff.FromSlice(g.NumPaths, 1, labN)))
+}
+
+// Loss computes the mixed loss of Eq. (4)/(5) for a forward pass:
+//
+//	L = L_supervised +
+//	    (-λ_flow·total_flow + Σ_i α_i·over_flow_i) / (λ_balance·λ_flow·total_demand)
+//	α_i = exp(min(utilization_i/capacity_i, α_max))
+//
+// x is the model's NumPaths x 1 allocation; the supervised term is the MSE of
+// demand-normalised allocations against the labels.
+func Loss(tp *autodiff.Tape, m *Model, s *Sample, x *autodiff.Value, cfg LossConfig) *autodiff.Value {
+	g := s.Graph
+	p := s.Problem
+	if g.NumPaths == 0 {
+		return tp.Const(autodiff.NewTensor(1, 1))
+	}
+
+	// Demand normalisation for the supervised term keeps gradients balanced
+	// across flows of very different sizes (64 Kbps voice vs 50 Mbps files).
+	invD := make([]float64, g.NumPaths)
+	labN := make([]float64, g.NumPaths)
+	for j, fi := range g.VarFlow {
+		d := p.Flows[fi].DemandMbps
+		if d <= 0 {
+			d = 1
+		}
+		invD[j] = 1 / d
+		labN[j] = s.Labels[j] / d
+	}
+	xn := tp.Mul(x, tp.Const(autodiff.FromSlice(g.NumPaths, 1, invD)))
+	sup := tp.MSE(xn, tp.Const(autodiff.FromSlice(g.NumPaths, 1, labN)))
+
+	// total_flow = sum of allocations.
+	totalFlow := tp.SumAll(x)
+
+	// Per-link loads via scatter over the variable->link incidence.
+	var varIdx, linkIdx []int
+	for fi, vars := range g.FlowVars {
+		for pi, j := range vars {
+			for _, li := range p.PathLinks(fi, pi) {
+				varIdx = append(varIdx, j)
+				linkIdx = append(linkIdx, li)
+			}
+		}
+	}
+	loss := sup
+	totalDemand := p.TotalDemand()
+	if totalDemand <= 0 {
+		totalDemand = 1
+	}
+	den := cfg.LambdaBalance * cfg.LambdaFlow * totalDemand
+	if len(varIdx) > 0 {
+		contrib := tp.Gather(x, varIdx)                            // nnz x 1
+		loads := tp.ScatterAddRows(contrib, linkIdx, len(p.Links)) // links x 1
+		// alpha_i of Eq. (5) are adaptive penalty COEFFICIENTS: computed
+		// from the current utilisations but detached from the gradient.
+		// Back-propagating through the exponential makes the penalty
+		// gradient explode under overload and kills the (sigmoid) gates.
+		alphaConst := autodiff.NewTensor(len(p.Links), 1)
+		for i := range p.LinkCap {
+			if p.LinkCap[i] > 0 {
+				u := loads.Val.Data[i] / p.LinkCap[i]
+				alphaConst.Data[i] = math.Exp(math.Min(u, cfg.AlphaMax))
+			}
+		}
+		caps := tp.Const(autodiff.FromSlice(len(p.Links), 1, append([]float64(nil), p.LinkCap...)))
+		over := tp.ReLU(tp.Sub(loads, caps)) // over_flow_i
+		penalty := tp.SumAll(tp.Mul(tp.Const(alphaConst), over))
+		mixed := tp.Scale(tp.Sub(penalty, tp.Scale(totalFlow, cfg.LambdaFlow)), 1/den)
+		loss = tp.Add(loss, mixed)
+	} else {
+		loss = tp.Add(loss, tp.Scale(totalFlow, -cfg.LambdaFlow/den))
+	}
+	return loss
+}
+
+// TrainConfig controls the supervised training loop.
+type TrainConfig struct {
+	Epochs   int
+	LR       float64
+	ClipNorm float64
+	Loss     LossConfig
+	// WarmupFrac is the fraction of epochs trained on the supervised term
+	// alone before the penalized-optimization term is blended in (see
+	// SupervisedLoss). Zero uses the default of 1.0: CPU-scale training is
+	// most robust purely supervised — under heavy overload the Mbps-scale
+	// penalty gradient overwhelms the demand-normalised supervised term and
+	// can crash the gates (see the abl-loss experiment). Set below 1 to
+	// blend the Eq. 4 mixed loss in after a supervised warm start.
+	WarmupFrac float64
+	// Verbose emits per-epoch progress via the Log callback.
+	Log func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns sane CPU-scale defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LR: 3e-3, ClipNorm: 5, Loss: DefaultLossConfig(), WarmupFrac: 1.0}
+}
+
+// TrainResult summarises a training run.
+type TrainResult struct {
+	Epochs    int
+	FinalLoss float64
+	Losses    []float64 // mean loss per epoch
+}
+
+// Train fits the model on the samples with Adam.
+func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	if cfg.Epochs == 0 {
+		cfg = DefaultTrainConfig()
+	}
+	opt := autodiff.NewAdam(cfg.LR, m.Params()...)
+	opt.ClipNorm = cfg.ClipNorm
+	warm := cfg.WarmupFrac
+	if warm == 0 {
+		warm = 1.0
+	}
+	warmEpochs := int(warm * float64(cfg.Epochs))
+	res := &TrainResult{Epochs: cfg.Epochs}
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		var sum float64
+		for _, s := range samples {
+			tp := autodiff.NewTape()
+			x := m.Allocate(tp, s.Graph, s.Problem)
+			var l *autodiff.Value
+			if ep < warmEpochs {
+				l = SupervisedLoss(tp, s, x)
+			} else {
+				l = Loss(tp, m, s, x, cfg.Loss)
+			}
+			opt.ZeroGrad()
+			tp.Backward(l)
+			opt.Step()
+			lv := l.Val.Data[0]
+			if math.IsNaN(lv) || math.IsInf(lv, 0) {
+				return nil, fmt.Errorf("core: loss diverged at epoch %d", ep)
+			}
+			sum += lv
+		}
+		mean := sum / float64(len(samples))
+		res.Losses = append(res.Losses, mean)
+		res.FinalLoss = mean
+		if cfg.Log != nil {
+			cfg.Log(ep, mean)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import "sate/internal/te"
+
+// Volume accounting for the dataset-pruning analysis of Sec. 3.4 / Table 1.
+//
+// Storage model (documented so the numbers are reproducible):
+//
+//   - Original traffic matrix: dense N x N float64 demand entries.
+//   - Original path dataset: N x N pairs x K paths x MaxHops node IDs
+//     (int32), the fixed-shape layout a DNN-based model requires
+//     (Sec. 2.4: "all preconfigured paths for each source-destination pair
+//     must be explicitly represented").
+//   - Pruned traffic: one (src, dst, demand) triple per non-zero entry
+//     (2 x int32 + float64).
+//   - Pruned paths: actual node sequences of the candidate paths of
+//     non-zero entries only (int32 per hop node).
+//
+// Absolute bytes differ from the paper's table (their storage constants are
+// not published); what reproduces is the scaling: original volume grows as
+// N^2 while pruned volume tracks live demand, so the reduction factor grows
+// by orders of magnitude with constellation size.
+type Volume struct {
+	NumSats int
+	// Bytes.
+	TrafficOriginal, TrafficPruned int64
+	PathOriginal, PathPruned       int64
+}
+
+// TotalOriginal returns the original data-point volume in bytes.
+func (v Volume) TotalOriginal() int64 { return v.TrafficOriginal + v.PathOriginal }
+
+// TotalPruned returns the pruned data-point volume in bytes.
+func (v Volume) TotalPruned() int64 { return v.TrafficPruned + v.PathPruned }
+
+// Reduction returns the volume-reduction factor.
+func (v Volume) Reduction() float64 {
+	p := v.TotalPruned()
+	if p == 0 {
+		return 0
+	}
+	return float64(v.TotalOriginal()) / float64(p)
+}
+
+const (
+	bytesFloat64 = 8
+	bytesInt32   = 4
+)
+
+// MeasureVolume computes the data-point volume for a problem instance under
+// the storage model above. k is the configured candidate paths per pair and
+// maxHops the fixed path-slot length of the dense layout (the network
+// diameter bound).
+func MeasureVolume(p *te.Problem, numSats, k, maxHops int) Volume {
+	n := int64(numSats)
+	v := Volume{NumSats: numSats}
+	v.TrafficOriginal = n * n * bytesFloat64
+	v.PathOriginal = n * n * int64(k) * int64(maxHops) * bytesInt32
+	for fi := range p.Flows {
+		v.TrafficPruned += 2*bytesInt32 + bytesFloat64
+		for pi := range p.Flows[fi].Paths {
+			v.PathPruned += int64(len(p.Flows[fi].Paths[pi].Nodes)) * bytesInt32
+		}
+	}
+	return v
+}

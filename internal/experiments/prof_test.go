@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"sate/internal/baselines"
+	"sate/internal/core"
+	"sate/internal/topology"
+)
+
+func TestProfileScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling only")
+	}
+	for _, sc := range ciScales() {
+		s := newScenario(sc, topology.CrossShellLasers, 0, 21)
+		start := time.Now()
+		p, _, _, err := s.ProblemAt(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: flows=%d vars=%d links=%d build=%v", sc.name, len(p.Flows), p.NumPaths(), len(p.Links), time.Since(start))
+
+		m := core.NewModel(core.DefaultConfig())
+		start = time.Now()
+		m.Solve(p)
+		t.Logf("  sate: %v", time.Since(start))
+
+		start = time.Now()
+		(baselines.GK{Epsilon: 0.05}).Solve(p)
+		t.Logf("  gk: %v", time.Since(start))
+
+		start = time.Now()
+		(baselines.LPAuto{}).Solve(p)
+		t.Logf("  lpauto: %v", time.Since(start))
+
+		start = time.Now()
+		baselines.NewHarp(16, 1).Solve(p)
+		t.Logf("  harp: %v", time.Since(start))
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sate/internal/core"
+	"sate/internal/topology"
+)
+
+func init() {
+	register("tab1", Table1Volumes)
+}
+
+// Table1Volumes reproduces Table 1: per-data-point volume of the traffic and
+// path datasets, original (dense, DNN-style fixed layout) vs pruned (sparse
+// non-zero entries only), across constellation scales. Absolute bytes follow
+// the storage model documented in internal/core/volume.go; the reproduced
+// claim is the scaling of the reduction factor with constellation size.
+func Table1Volumes(opt Options) (*Report, error) {
+	r := &Report{
+		ID:    "tab1",
+		Title: "Data-point volume: original vs pruned (traffic + paths)",
+		Header: []string{"scale", "flows", "traffic orig", "traffic pruned",
+			"paths orig", "paths pruned", "reduction"},
+	}
+	scs := scales(opt)
+	for _, sc := range scs {
+		s := newScenario(sc, topology.CrossShellLasers, 0, opt.Seed+11)
+		p, _, _, err := s.ProblemAt(ciTrainStart)
+		if err != nil {
+			return nil, err
+		}
+		maxHops := 16
+		if s.Cons.Size() > 1000 {
+			maxHops = 40
+		}
+		v := core.MeasureVolume(p, s.Cons.Size(), s.Build.K, maxHops)
+		r.AddRow(sc.name,
+			fmt.Sprintf("%d", len(p.Flows)),
+			bytesStr(v.TrafficOriginal), bytesStr(v.TrafficPruned),
+			bytesStr(v.PathOriginal), bytesStr(v.PathPruned),
+			fmt.Sprintf("%.0fx", v.Reduction()))
+	}
+	r.Note("paper (their storage constants): 132x at 66 sats up to 22,381x at 4236 sats (335 GB -> 15 MB)")
+	r.Note("reduction factor must grow with constellation size; absolute bytes depend on the storage model")
+	return r, nil
+}
+
+func bytesStr(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

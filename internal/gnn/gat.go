@@ -1,0 +1,221 @@
+// Package gnn implements graph-attention layers (Eq. 6/7 of the paper) on
+// the autodiff engine: multi-head edge-featured attention with per-segment
+// softmax over incoming edges, bipartite-relation support (the R2/R3
+// relations connect different node types), residual stacks, and a small MLP
+// for the decoder.
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"sate/internal/autodiff"
+)
+
+// EdgeList is a sparse relation: edge i connects Src[i] -> Dst[i] and carries
+// feature row i of the edge-feature tensor. Attention normalises over the
+// incoming edges of each destination node.
+type EdgeList struct {
+	Src, Dst []int
+}
+
+// Len returns the number of edges.
+func (e EdgeList) Len() int { return len(e.Src) }
+
+// Reverse returns the relation with directions flipped (for updating the
+// other side of a bipartite relation).
+func (e EdgeList) Reverse() EdgeList { return EdgeList{Src: e.Dst, Dst: e.Src} }
+
+// GATLayer is one multi-head graph-attention layer following Eq. (6)/(7):
+//
+//	v'_i = LeakyReLU( Θs·v_i + ‖_k Σ_{j∈r(i)} α^k_{j,i} (Θn^k·v_j + Θe^k·e_{j,i}) )
+//	α^k_{j,i} = softmax_i( LeakyReLU( a^T [Θd^k·v_i ‖ Θn^k·v_j ‖ Θe^k·e_{j,i}] ) )
+//
+// Destination and source nodes may be different types (bipartite relations),
+// hence separate Θd/Θn input dimensions. Output dimension is Heads*HeadDim.
+type GATLayer struct {
+	InDst, InSrc, InEdge int
+	Heads, HeadDim       int
+	Slope                float64 // LeakyReLU slope
+	// Uniform disables learned attention: every incoming edge gets weight
+	// 1/deg (mean aggregation). Used by the attention ablation.
+	Uniform bool
+
+	thetaS     *autodiff.Value   // InDst x Heads*HeadDim
+	thetaDst   []*autodiff.Value // per head: InDst x HeadDim (attention query)
+	thetaSrc   []*autodiff.Value // per head: InSrc x HeadDim (message + key)
+	thetaEdge  []*autodiff.Value // per head: InEdge x HeadDim
+	attnVector []*autodiff.Value // per head: 3*HeadDim x 1
+}
+
+// NewGATLayer creates a layer with Xavier-style initialisation.
+func NewGATLayer(rng *rand.Rand, inDst, inSrc, inEdge, heads, headDim int) *GATLayer {
+	l := &GATLayer{
+		InDst: inDst, InSrc: inSrc, InEdge: inEdge,
+		Heads: heads, HeadDim: headDim, Slope: 0.2,
+	}
+	mk := func(r, c int) *autodiff.Value {
+		return autodiff.Param(autodiff.NewTensor(r, c).Randn(rng, math.Sqrt(2/float64(r+c))))
+	}
+	l.thetaS = mk(inDst, heads*headDim)
+	for k := 0; k < heads; k++ {
+		l.thetaDst = append(l.thetaDst, mk(inDst, headDim))
+		l.thetaSrc = append(l.thetaSrc, mk(inSrc, headDim))
+		l.thetaEdge = append(l.thetaEdge, mk(inEdge, headDim))
+		l.attnVector = append(l.attnVector, mk(3*headDim, 1))
+	}
+	return l
+}
+
+// OutDim returns the layer's output embedding width.
+func (l *GATLayer) OutDim() int { return l.Heads * l.HeadDim }
+
+// Params returns the trainable parameters.
+func (l *GATLayer) Params() []*autodiff.Value {
+	out := []*autodiff.Value{l.thetaS}
+	out = append(out, l.thetaDst...)
+	out = append(out, l.thetaSrc...)
+	out = append(out, l.thetaEdge...)
+	out = append(out, l.attnVector...)
+	return out
+}
+
+// Forward computes updated destination-node embeddings. vDst is nDst x InDst,
+// vSrc is nSrc x InSrc, eFeat is E x InEdge (one row per edge, aligned with
+// rel). Nodes with no incoming edges receive only the Θs·v self term.
+func (l *GATLayer) Forward(tp *autodiff.Tape, vDst, vSrc, eFeat *autodiff.Value, rel EdgeList) *autodiff.Value {
+	for _, p := range l.Params() {
+		tp.Watch(p)
+	}
+	nDst := vDst.Val.Rows
+	self := tp.MatMul(vDst, l.thetaS)
+
+	var heads []*autodiff.Value
+	for k := 0; k < l.Heads; k++ {
+		hDst := tp.MatMul(vDst, l.thetaDst[k]) // nDst x dh
+		hSrc := tp.MatMul(vSrc, l.thetaSrc[k]) // nSrc x dh
+		hE := tp.MatMul(eFeat, l.thetaEdge[k]) // E x dh
+
+		gDst := tp.Gather(hDst, rel.Dst) // E x dh
+		gSrc := tp.Gather(hSrc, rel.Src) // E x dh
+
+		var alpha *autodiff.Value
+		if l.Uniform {
+			// Mean aggregation: softmax over zero scores is uniform.
+			zeros := tp.Const(autodiff.NewTensor(rel.Len(), 1))
+			alpha = tp.SegmentSoftmax(zeros, rel.Dst, nDst)
+		} else {
+			cat := tp.Concat(gDst, gSrc, hE)         // E x 3dh
+			score := tp.MatMul(cat, l.attnVector[k]) // E x 1
+			score = tp.LeakyReLU(score, l.Slope)     // Eq. (7)
+			alpha = tp.SegmentSoftmax(score, rel.Dst, nDst)
+		}
+		msg := tp.MulColBroadcast(tp.Add(gSrc, hE), alpha) // E x dh
+		agg := tp.ScatterAddRows(msg, rel.Dst, nDst)       // nDst x dh
+		heads = append(heads, agg)
+	}
+	var aggAll *autodiff.Value
+	if len(heads) == 1 {
+		aggAll = heads[0]
+	} else {
+		aggAll = tp.Concat(heads...)
+	}
+	return tp.LeakyReLU(tp.Add(self, aggAll), l.Slope)
+}
+
+// Stack is a residual stack of GAT layers over one relation: each layer's
+// output feeds the next, with identity residuals where dimensions match
+// (Appendix B: residual connections mitigate over-smoothing).
+type Stack struct {
+	Layers []*GATLayer
+}
+
+// NewStack builds depth layers of identical dimensions (dim -> dim) over a
+// same-type relation.
+func NewStack(rng *rand.Rand, depth, dim, edgeDim, heads int) *Stack {
+	if dim%heads != 0 {
+		panic("gnn: dim must be divisible by heads")
+	}
+	s := &Stack{}
+	for i := 0; i < depth; i++ {
+		s.Layers = append(s.Layers, NewGATLayer(rng, dim, dim, edgeDim, heads, dim/heads))
+	}
+	return s
+}
+
+// Params returns all trainable parameters of the stack.
+func (s *Stack) Params() []*autodiff.Value {
+	var out []*autodiff.Value
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Forward runs the stack on a homogeneous relation (src and dst are the same
+// node set).
+func (s *Stack) Forward(tp *autodiff.Tape, v, eFeat *autodiff.Value, rel EdgeList) *autodiff.Value {
+	h := v
+	for _, l := range s.Layers {
+		out := l.Forward(tp, h, h, eFeat, rel)
+		if out.Val.Cols == h.Val.Cols {
+			out = tp.Add(out, h) // residual
+		}
+		h = out
+	}
+	return h
+}
+
+// MLP is a small fully connected network used as the allocation decoder.
+type MLP struct {
+	weights []*autodiff.Value
+	biases  []*autodiff.Value
+	Slope   float64
+}
+
+// NewMLP builds an MLP with the given layer widths (e.g. in, hidden, out).
+func NewMLP(rng *rand.Rand, widths ...int) *MLP {
+	if len(widths) < 2 {
+		panic("gnn: MLP needs at least input and output widths")
+	}
+	m := &MLP{Slope: 0.2}
+	for i := 0; i+1 < len(widths); i++ {
+		w := autodiff.Param(autodiff.NewTensor(widths[i], widths[i+1]).
+			Randn(rng, math.Sqrt(2/float64(widths[i]+widths[i+1]))))
+		b := autodiff.Param(autodiff.NewTensor(1, widths[i+1]))
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, b)
+	}
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *MLP) Params() []*autodiff.Value {
+	var out []*autodiff.Value
+	for i := range m.weights {
+		out = append(out, m.weights[i], m.biases[i])
+	}
+	return out
+}
+
+// SetOutputBias sets the bias of one output column of the final layer.
+// Useful to start gated outputs away from saturation (e.g. a sigmoid gate
+// biased positive so early penalty gradients cannot kill it).
+func (m *MLP) SetOutputBias(col int, v float64) {
+	last := m.biases[len(m.biases)-1]
+	last.Val.Set(0, col, v)
+}
+
+// Forward applies the MLP with LeakyReLU between layers (linear output).
+func (m *MLP) Forward(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	h := x
+	for i := range m.weights {
+		tp.Watch(m.weights[i])
+		tp.Watch(m.biases[i])
+		h = tp.AddRowBroadcast(tp.MatMul(h, m.weights[i]), m.biases[i])
+		if i+1 < len(m.weights) {
+			h = tp.LeakyReLU(h, m.Slope)
+		}
+	}
+	return h
+}

@@ -1,0 +1,210 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sate/internal/autodiff"
+)
+
+// lineGraph: 0-1-2 chain with bidirectional edges.
+func lineGraph() EdgeList {
+	return EdgeList{
+		Src: []int{0, 1, 1, 2},
+		Dst: []int{1, 0, 2, 1},
+	}
+}
+
+func TestGATForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewGATLayer(rng, 4, 4, 2, 2, 3)
+	if l.OutDim() != 6 {
+		t.Fatalf("out dim = %d", l.OutDim())
+	}
+	tp := autodiff.NewTape()
+	v := tp.Const(autodiff.NewTensor(3, 4).Randn(rng, 1))
+	e := tp.Const(autodiff.NewTensor(4, 2).Randn(rng, 1))
+	out := l.Forward(tp, v, v, e, lineGraph())
+	if out.Val.Rows != 3 || out.Val.Cols != 6 {
+		t.Errorf("output shape %dx%d", out.Val.Rows, out.Val.Cols)
+	}
+	for _, x := range out.Val.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("non-finite output")
+		}
+	}
+}
+
+func TestGATIsolatedNodeGetsSelfTermOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewGATLayer(rng, 3, 3, 1, 1, 3)
+	tp := autodiff.NewTape()
+	v := tp.Const(autodiff.NewTensor(4, 3).Randn(rng, 1))
+	// Only nodes 0,1 connected; nodes 2,3 isolated.
+	rel := EdgeList{Src: []int{0, 1}, Dst: []int{1, 0}}
+	e := tp.Const(autodiff.NewTensor(2, 1).Randn(rng, 1))
+	out := l.Forward(tp, v, v, e, rel)
+	// Isolated node output = LeakyReLU(thetaS . v): recompute directly.
+	tp2 := autodiff.NewTape()
+	self := tp2.LeakyReLU(tp2.MatMul(tp2.Const(v.Val), tp2.Watch(l.thetaS)), l.Slope)
+	for c := 0; c < out.Val.Cols; c++ {
+		if math.Abs(out.Val.At(2, c)-self.Val.At(2, c)) > 1e-12 {
+			t.Fatalf("isolated node got neighbour contributions")
+		}
+	}
+}
+
+func TestGATBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// dst nodes: 2 paths with dim 5; src nodes: 3 traffic with dim 3.
+	l := NewGATLayer(rng, 5, 3, 2, 2, 4)
+	tp := autodiff.NewTape()
+	vp := tp.Const(autodiff.NewTensor(2, 5).Randn(rng, 1))
+	vt := tp.Const(autodiff.NewTensor(3, 3).Randn(rng, 1))
+	rel := EdgeList{Src: []int{0, 1, 2}, Dst: []int{0, 0, 1}}
+	e := tp.Const(autodiff.NewTensor(3, 2).Randn(rng, 1))
+	out := l.Forward(tp, vp, vt, e, rel)
+	if out.Val.Rows != 2 || out.Val.Cols != 8 {
+		t.Errorf("bipartite output shape %dx%d", out.Val.Rows, out.Val.Cols)
+	}
+}
+
+func TestGATGradientsFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewGATLayer(rng, 3, 3, 2, 1, 3)
+	rel := lineGraph()
+	vT := autodiff.NewTensor(3, 3).Randn(rng, 1)
+	eT := autodiff.NewTensor(4, 2).Randn(rng, 1)
+
+	run := func() float64 {
+		tp := autodiff.NewTape()
+		out := l.Forward(tp, tp.Const(vT), tp.Const(vT), tp.Const(eT), rel)
+		return tp.SumAll(tp.Mul(out, out)).Val.Data[0]
+	}
+	for pi, p := range l.Params() {
+		p.Grad.Fill(0)
+		_ = pi
+	}
+	tp := autodiff.NewTape()
+	out := l.Forward(tp, tp.Const(vT), tp.Const(vT), tp.Const(eT), rel)
+	loss := tp.SumAll(tp.Mul(out, out))
+	tp.Backward(loss)
+	for pi, p := range l.Params() {
+		analytic := p.Grad.Clone()
+		if err := autodiff.GradCheck(p, run, analytic, 1e-5, 8); err > 5e-4 {
+			t.Errorf("param %d gradient error %v", pi, err)
+		}
+	}
+}
+
+func TestStackResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewStack(rng, 3, 6, 2, 2)
+	if len(s.Layers) != 3 {
+		t.Fatal("depth wrong")
+	}
+	tp := autodiff.NewTape()
+	v := tp.Const(autodiff.NewTensor(3, 6).Randn(rng, 1))
+	e := tp.Const(autodiff.NewTensor(4, 2).Randn(rng, 1))
+	out := s.Forward(tp, v, e, lineGraph())
+	if out.Val.Rows != 3 || out.Val.Cols != 6 {
+		t.Errorf("stack output %dx%d", out.Val.Rows, out.Val.Cols)
+	}
+	if len(s.Params()) != 3*len(s.Layers[0].Params()) {
+		t.Error("params incomplete")
+	}
+}
+
+func TestStackDimValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dim not divisible by heads should panic")
+		}
+	}()
+	NewStack(rand.New(rand.NewSource(1)), 1, 5, 2, 2)
+}
+
+func TestMLPShapesAndGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, 4, 8, 1)
+	xT := autodiff.NewTensor(5, 4).Randn(rng, 1)
+	run := func() float64 {
+		tp := autodiff.NewTape()
+		out := m.Forward(tp, tp.Const(xT))
+		return tp.SumAll(tp.Mul(out, out)).Val.Data[0]
+	}
+	for _, p := range m.Params() {
+		p.Grad.Fill(0)
+	}
+	tp := autodiff.NewTape()
+	out := m.Forward(tp, tp.Const(xT))
+	if out.Val.Rows != 5 || out.Val.Cols != 1 {
+		t.Fatalf("MLP output %dx%d", out.Val.Rows, out.Val.Cols)
+	}
+	tp.Backward(tp.SumAll(tp.Mul(out, out)))
+	for pi, p := range m.Params() {
+		analytic := p.Grad.Clone()
+		if err := autodiff.GradCheck(p, run, analytic, 1e-5, 8); err > 5e-4 {
+			t.Errorf("MLP param %d gradient error %v", pi, err)
+		}
+	}
+}
+
+func TestGATLearnsNeighborAggregation(t *testing.T) {
+	// End-to-end learning sanity: predict the mean of neighbour features —
+	// requires information to flow across edges. (Degree counting is
+	// deliberately NOT learnable by attention: the softmax weights sum to 1,
+	// which is why the paper initialises satellite embeddings with
+	// #Neighbors explicitly, Fig. 7.)
+	rng := rand.New(rand.NewSource(7))
+	l := NewGATLayer(rng, 1, 1, 1, 1, 4)
+	dec := NewMLP(rng, 4, 8, 1)
+	params := append(l.Params(), dec.Params()...)
+	opt := autodiff.NewAdam(0.01, params...)
+
+	rel := EdgeList{ // star: node 0 <-> {1,2,3}
+		Src: []int{1, 2, 3, 0, 0, 0},
+		Dst: []int{0, 0, 0, 1, 2, 3},
+	}
+	vT := autodiff.FromSlice(4, 1, []float64{0.5, 1, 2, 3})
+	eT := autodiff.NewTensor(6, 1)
+	eT.Fill(1)
+	// target[i] = mean of i's neighbour values.
+	target := autodiff.FromSlice(4, 1, []float64{2, 0.5, 0.5, 0.5})
+
+	var loss float64
+	for i := 0; i < 600; i++ {
+		tp := autodiff.NewTape()
+		h := l.Forward(tp, tp.Const(vT), tp.Const(vT), tp.Const(eT), rel)
+		pred := dec.Forward(tp, h)
+		lv := tp.MSE(pred, tp.Const(target))
+		opt.ZeroGrad()
+		tp.Backward(lv)
+		opt.Step()
+		loss = lv.Val.Data[0]
+	}
+	if loss > 0.05 {
+		t.Errorf("failed to learn neighbour aggregation: loss %v", loss)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	r := EdgeList{Src: []int{1, 2}, Dst: []int{3, 4}}
+	rev := r.Reverse()
+	if rev.Src[0] != 3 || rev.Dst[0] != 1 || rev.Len() != 2 {
+		t.Errorf("reverse wrong: %+v", rev)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := NewGATLayer(rng, 3, 3, 1, 1, 3)
+	tp := autodiff.NewTape()
+	v := tp.Const(autodiff.NewTensor(2, 3).Randn(rng, 1))
+	e := tp.Const(autodiff.NewTensor(0, 1))
+	out := l.Forward(tp, v, v, e, EdgeList{})
+	if out.Val.Rows != 2 {
+		t.Errorf("empty relation output rows %d", out.Val.Rows)
+	}
+}

@@ -1,0 +1,145 @@
+// Package lp provides linear-programming solvers used in place of the
+// commercial solver of the paper: an exact dense primal simplex for
+// standard-form problems (max c'x, Ax <= b, x >= 0, b >= 0), used for
+// ground-truth TE labels and property tests, and helpers shared with the
+// scalable approximate packing solver in internal/solvers.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Result of a simplex solve.
+type Result struct {
+	X          []float64
+	Objective  float64
+	Iterations int
+}
+
+// ErrUnbounded is returned when the LP has unbounded objective.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrIterationLimit is returned when the pivot limit is exceeded.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+const defaultMaxPivots = 200000
+
+// Maximize solves max c'x subject to Ax <= b, x >= 0 with b >= 0 using the
+// primal simplex method on a dense tableau. The all-slack basis is feasible
+// because b >= 0, so no phase-1 is needed. Dantzig pricing is used with a
+// Bland's-rule fallback to guarantee termination.
+func Maximize(c []float64, a [][]float64, b []float64) (*Result, error) {
+	m := len(a)
+	n := len(c)
+	if len(b) != m {
+		return nil, fmt.Errorf("lp: %d rows but %d bounds", m, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("lp: row %d has %d cols, want %d", i, len(a[i]), n)
+		}
+		if b[i] < 0 {
+			return nil, fmt.Errorf("lp: negative bound b[%d]=%v (standard form requires b >= 0)", i, b[i])
+		}
+	}
+
+	// Tableau: m rows of [A | I | b], then the objective row [-c | 0 | 0].
+	w := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, w)
+		copy(t[i], a[i])
+		t[i][n+i] = 1
+		t[i][w-1] = b[i]
+	}
+	t[m] = make([]float64, w)
+	for j := 0; j < n; j++ {
+		t[m][j] = -c[j]
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	const eps = 1e-9
+	iter := 0
+	blandAfter := 4 * (m + n) // switch to Bland's rule if cycling is suspected
+	for {
+		if iter > defaultMaxPivots {
+			return nil, ErrIterationLimit
+		}
+		// Pricing: pick entering column.
+		col := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < n+m; j++ {
+				if t[m][j] < best {
+					best = t[m][j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < n+m; j++ {
+				if t[m][j] < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			break // optimal
+		}
+		// Ratio test: pick leaving row.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][col] > eps {
+				r := t[i][w-1] / t[i][col]
+				if r < bestRatio-eps || (math.Abs(r-bestRatio) <= eps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return nil, ErrUnbounded
+		}
+		pivot(t, row, col)
+		basis[row] = col
+		iter++
+	}
+
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = t[i][w-1]
+		}
+	}
+	return &Result{X: x, Objective: t[m][w-1], Iterations: iter}, nil
+}
+
+func pivot(t [][]float64, row, col int) {
+	w := len(t[0])
+	pv := t[row][col]
+	inv := 1 / pv
+	for j := 0; j < w; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < w; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+}

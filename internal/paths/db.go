@@ -1,0 +1,137 @@
+package paths
+
+import (
+	"sate/internal/constellation"
+	"sate/internal/topology"
+)
+
+// Pair identifies a source-destination satellite pair.
+type Pair struct {
+	Src, Dst constellation.SatID
+}
+
+// DB is the preconfigured-path database of the TE workflow (Sec. 2.2 step 3).
+// It lazily computes k candidate paths per requested pair and maintains them
+// incrementally: when the topology changes, only paths that traverse a
+// removed link are recomputed (Sec. 4: "<2% of paths per second, 56 ms").
+type DB struct {
+	Cons *constellation.Constellation
+	K    int
+
+	router *GridRouter
+	snap   *topology.Snapshot
+	paths  map[Pair][]Path
+	// linkIndex maps a link key to the pairs whose current paths use it.
+	linkIndex map[uint64]map[Pair]struct{}
+
+	// Stats accumulates incremental-update accounting.
+	Stats UpdateStats
+}
+
+// UpdateStats records how much work incremental updates performed.
+type UpdateStats struct {
+	Updates         int // calls to Update
+	PairsTotal      int // pair-path sets held at last update
+	PairsRecomputed int // pair-path sets recomputed across all updates
+}
+
+// NewDB creates a path database over an initial snapshot.
+func NewDB(c *constellation.Constellation, s *topology.Snapshot, k int) *DB {
+	return &DB{
+		Cons:      c,
+		K:         k,
+		router:    NewGridRouter(c, s),
+		snap:      s,
+		paths:     make(map[Pair][]Path),
+		linkIndex: make(map[uint64]map[Pair]struct{}),
+	}
+}
+
+// Snapshot returns the snapshot the database currently reflects.
+func (db *DB) Snapshot() *topology.Snapshot { return db.snap }
+
+// Paths returns the candidate paths for a pair, computing them on first use.
+func (db *DB) Paths(src, dst constellation.SatID) []Path {
+	p := Pair{src, dst}
+	if ps, ok := db.paths[p]; ok {
+		return ps
+	}
+	ps := db.router.KShortest(src, dst, db.K)
+	db.paths[p] = ps
+	db.index(p, ps)
+	return ps
+}
+
+func (db *DB) index(pair Pair, ps []Path) {
+	for _, p := range ps {
+		for _, l := range p.Links() {
+			k := linkKey(l)
+			m := db.linkIndex[k]
+			if m == nil {
+				m = make(map[Pair]struct{})
+				db.linkIndex[k] = m
+			}
+			m[pair] = struct{}{}
+		}
+	}
+}
+
+func (db *DB) unindex(pair Pair, ps []Path) {
+	for _, p := range ps {
+		for _, l := range p.Links() {
+			k := linkKey(l)
+			if m := db.linkIndex[k]; m != nil {
+				delete(m, pair)
+				if len(m) == 0 {
+					delete(db.linkIndex, k)
+				}
+			}
+		}
+	}
+}
+
+// Update moves the database to a new snapshot, recomputing only the pairs
+// whose paths traverse a removed link. It returns the number of pairs
+// recomputed.
+func (db *DB) Update(s *topology.Snapshot) int {
+	_, removed := db.snap.Diff(s)
+	dirty := make(map[Pair]struct{})
+	for _, l := range removed {
+		for pair := range db.linkIndex[linkKey(l)] {
+			dirty[pair] = struct{}{}
+		}
+	}
+	db.snap = s
+	db.router = NewGridRouter(db.Cons, s)
+	for pair := range dirty {
+		old := db.paths[pair]
+		db.unindex(pair, old)
+		ps := db.router.KShortest(pair.Src, pair.Dst, db.K)
+		db.paths[pair] = ps
+		db.index(pair, ps)
+	}
+	db.Stats.Updates++
+	db.Stats.PairsTotal = len(db.paths)
+	db.Stats.PairsRecomputed += len(dirty)
+	return len(dirty)
+}
+
+// KnownPairs returns the number of pairs currently held.
+func (db *DB) KnownPairs() int { return len(db.paths) }
+
+// ObsoleteFraction reports, for a set of configured paths computed against a
+// reference snapshot, the fraction that are no longer valid in the given
+// snapshot (Fig. 4 b).
+func ObsoleteFraction(configured []Path, s *topology.Snapshot) float64 {
+	if len(configured) == 0 {
+		return 0
+	}
+	links := s.LinkSet()
+	obsolete := 0
+	for _, p := range configured {
+		if !p.ValidIn(links) {
+			obsolete++
+		}
+	}
+	return float64(obsolete) / float64(len(configured))
+}

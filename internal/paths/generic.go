@@ -1,0 +1,363 @@
+package paths
+
+import (
+	"container/heap"
+	"math"
+
+	"sate/internal/orbit"
+	"sate/internal/topology"
+)
+
+// Graph is an adjacency view over a snapshot used by the generic algorithms.
+type Graph struct {
+	N   int
+	Adj [][]topology.NodeID
+}
+
+// GraphFrom builds a Graph from a snapshot.
+func GraphFrom(s *topology.Snapshot) *Graph {
+	return &Graph{N: s.NumNodes, Adj: s.Adjacency()}
+}
+
+// KShortest returns up to k loop-free minimum-hop-first paths from src to dst
+// using the label-correcting k-shortest-walk algorithm (each node may be
+// settled up to k times; walks with repeated nodes are discarded). Paths are
+// returned in nondecreasing hop count. This is the generic engine used when
+// grid enumeration does not apply (e.g. links missing at high latitudes).
+func (g *Graph) KShortest(src, dst topology.NodeID, k int) []Path {
+	if src == dst || k <= 0 {
+		return nil
+	}
+	pq := &labelHeap{}
+	heap.Push(pq, &labelEntry{l: &pathLabel{node: src}, cost: 0})
+	count := make([]int, g.N)
+	var out []Path
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(*labelEntry)
+		l := e.l
+		if count[l.node] >= k {
+			continue
+		}
+		count[l.node]++
+		if l.node == dst {
+			out = append(out, l.path())
+			if len(out) >= k {
+				return out
+			}
+			continue
+		}
+		for _, nb := range g.Adj[l.node] {
+			if l.contains(nb) {
+				continue // loop-free walks only
+			}
+			heap.Push(pq, &labelEntry{l: &pathLabel{node: nb, hops: l.hops + 1, prev: l}, cost: l.hops + 1})
+		}
+	}
+	return out
+}
+
+// pathLabel is a node on a partial-path chain in the k-shortest search.
+type pathLabel struct {
+	node topology.NodeID
+	hops int
+	prev *pathLabel
+}
+
+// contains reports whether the chain up to this label visits n.
+func (l *pathLabel) contains(n topology.NodeID) bool {
+	for x := l; x != nil; x = x.prev {
+		if x.node == n {
+			return true
+		}
+	}
+	return false
+}
+
+// path materializes the chain as a Path.
+func (l *pathLabel) path() Path {
+	var rev []topology.NodeID
+	for x := l; x != nil; x = x.prev {
+		rev = append(rev, x.node)
+	}
+	nodes := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes}
+}
+
+type labelEntry struct {
+	l    *pathLabel
+	cost int
+}
+
+type labelHeap []*labelEntry
+
+func (h labelHeap) Len() int            { return len(h) }
+func (h labelHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h labelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *labelHeap) Push(x interface{}) { *h = append(*h, x.(*labelEntry)) }
+func (h *labelHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// ShortestHops runs a BFS from src and returns hop distances to all nodes
+// (math.MaxInt32 where unreachable).
+func (g *Graph) ShortestHops(src topology.NodeID) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if dist[v] == math.MaxInt32 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one minimum-hop path from src to dst, or false if
+// disconnected.
+func (g *Graph) ShortestPath(src, dst topology.NodeID) (Path, bool) {
+	if src == dst {
+		return Path{Nodes: []topology.NodeID{src}}, true
+	}
+	prev := make([]topology.NodeID, g.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, v := range g.Adj[u] {
+			if prev[v] == -1 {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return Path{}, false
+	}
+	var rev []topology.NodeID
+	for x := dst; ; x = prev[x] {
+		rev = append(rev, x)
+		if x == src {
+			break
+		}
+	}
+	nodes := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes}, true
+}
+
+// YenKShortest computes the k shortest loopless paths with Yen's algorithm
+// [Yen 1971]. It is the classical method the paper identifies as too slow for
+// mega-constellations (Appendix C); it serves as the correctness baseline for
+// the grid algorithm and as a latency comparison point.
+func (g *Graph) YenKShortest(src, dst topology.NodeID, k int) []Path {
+	first, ok := g.ShortestPath(src, dst)
+	if !ok || k <= 0 {
+		return nil
+	}
+	A := []Path{first}
+	var B []Path
+	for len(A) < k {
+		prev := A[len(A)-1]
+		for i := 0; i < prev.Hops(); i++ {
+			spurNode := prev.Nodes[i]
+			rootPath := Path{Nodes: append([]topology.NodeID(nil), prev.Nodes[:i+1]...)}
+			// Ban links used by previous A-paths sharing the root, and ban
+			// root nodes (except the spur) to force looplessness.
+			banned := make(map[[2]topology.NodeID]bool)
+			for _, a := range A {
+				if i < len(a.Nodes)-1 && samePrefix(a.Nodes, prev.Nodes, i+1) {
+					banned[[2]topology.NodeID{a.Nodes[i], a.Nodes[i+1]}] = true
+					banned[[2]topology.NodeID{a.Nodes[i+1], a.Nodes[i]}] = true
+				}
+			}
+			blockedNodes := make(map[topology.NodeID]bool)
+			for _, n := range rootPath.Nodes[:len(rootPath.Nodes)-1] {
+				blockedNodes[n] = true
+			}
+			spur, ok := g.shortestPathFiltered(spurNode, dst, banned, blockedNodes)
+			if !ok {
+				continue
+			}
+			if total, ok := Concat(rootPath, spur); ok {
+				B = append(B, total)
+			}
+		}
+		if len(B) == 0 {
+			break
+		}
+		B = Dedup(B)
+		// Pick the shortest candidate not already in A.
+		bestIdx := -1
+		for idx, c := range B {
+			if containsPath(A, c) {
+				continue
+			}
+			if bestIdx == -1 || c.Hops() < B[bestIdx].Hops() {
+				bestIdx = idx
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		A = append(A, B[bestIdx])
+		B = append(B[:bestIdx], B[bestIdx+1:]...)
+	}
+	return A
+}
+
+func samePrefix(a, b []topology.NodeID, n int) bool {
+	if len(a) < n || len(b) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, p Path) bool {
+	k := p.Key()
+	for _, q := range ps {
+		if q.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) shortestPathFiltered(src, dst topology.NodeID, bannedEdges map[[2]topology.NodeID]bool, blockedNodes map[topology.NodeID]bool) (Path, bool) {
+	prev := make([]topology.NodeID, g.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, v := range g.Adj[u] {
+			if prev[v] != -1 || blockedNodes[v] || bannedEdges[[2]topology.NodeID{u, v}] {
+				continue
+			}
+			prev[v] = u
+			queue = append(queue, v)
+		}
+	}
+	if dst == src {
+		return Path{Nodes: []topology.NodeID{src}}, true
+	}
+	if prev[dst] == -1 {
+		return Path{}, false
+	}
+	var rev []topology.NodeID
+	for x := dst; ; x = prev[x] {
+		rev = append(rev, x)
+		if x == src {
+			break
+		}
+	}
+	nodes := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes}, true
+}
+
+// ShortestPathByDistance returns the minimum geometric-length path between
+// two nodes using Dijkstra over Euclidean link lengths. This is the
+// delay-optimal route (propagation delay is length/c); the hop-count paths of
+// the grid algorithm optimise switching cost instead.
+func (g *Graph) ShortestPathByDistance(src, dst topology.NodeID, pos []orbit.Vec3) (Path, float64, bool) {
+	if src == dst {
+		return Path{Nodes: []topology.NodeID{src}}, 0, true
+	}
+	dist := make([]float64, g.N)
+	prev := make([]topology.NodeID, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src}}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(distEntry)
+		if e.dist > dist[e.node] {
+			continue
+		}
+		if e.node == dst {
+			break
+		}
+		for _, nb := range g.Adj[e.node] {
+			d := e.dist + pos[e.node].Distance(pos[nb])
+			if d < dist[nb] {
+				dist[nb] = d
+				prev[nb] = e.node
+				heap.Push(pq, distEntry{node: nb, dist: d})
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return Path{}, 0, false
+	}
+	var rev []topology.NodeID
+	for x := dst; ; x = prev[x] {
+		rev = append(rev, x)
+		if x == src {
+			break
+		}
+	}
+	nodes := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes}, dist[dst], true
+}
+
+type distEntry struct {
+	node topology.NodeID
+	dist float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

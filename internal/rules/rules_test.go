@@ -1,0 +1,210 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/paths"
+	"sate/internal/sim"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// diamond: flow 0->3 over two 2-hop paths.
+func diamond(demand float64) *te.Problem {
+	links := []topology.Link{
+		topology.MakeLink(0, 1, topology.IntraOrbit),
+		topology.MakeLink(1, 3, topology.IntraOrbit),
+		topology.MakeLink(0, 2, topology.IntraOrbit),
+		topology.MakeLink(2, 3, topology.IntraOrbit),
+	}
+	p := &te.Problem{
+		NumNodes: 4,
+		Links:    links,
+		LinkCap:  []float64{10, 10, 10, 10},
+		Flows: []te.FlowDemand{{
+			Src: 0, Dst: 3, DemandMbps: demand,
+			Paths: []paths.Path{paths.NewPath(0, 1, 3), paths.NewPath(0, 2, 3)},
+		}},
+	}
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestCompileDiamond(t *testing.T) {
+	p := diamond(30)
+	a := te.NewAllocation(p)
+	a.X[0][0] = 10
+	a.X[0][1] = 5
+
+	rs := Compile(p, a)
+	// Node 0 carries both labels: label 0 (rate 10) to node 1, label 1
+	// (rate 5) to node 2.
+	t0 := rs.Tables[0]
+	if t0 == nil || len(t0.Rules) != 2 {
+		t.Fatalf("node 0 table: %+v", t0)
+	}
+	if t0.Rules[0].Label != 0 || t0.Rules[0].Next != 1 || t0.Rules[0].RateMbps != 10 {
+		t.Errorf("node 0 rule 0: %+v", t0.Rules[0])
+	}
+	if t0.Rules[1].Label != 1 || t0.Rules[1].Next != 2 || t0.Rules[1].RateMbps != 5 {
+		t.Errorf("node 0 rule 1: %+v", t0.Rules[1])
+	}
+	// Nodes 1 and 2 forward their label to 3.
+	for _, n := range []topology.NodeID{1, 2} {
+		tbl := rs.Tables[n]
+		if tbl == nil || len(tbl.Rules) != 1 || tbl.Rules[0].Next != 3 {
+			t.Errorf("node %d table: %+v", n, tbl)
+		}
+	}
+	// The destination has no forwarding rules.
+	if rs.Tables[3] != nil {
+		t.Errorf("destination has rules: %+v", rs.Tables[3])
+	}
+	if rs.NumRules() != 4 {
+		t.Errorf("rule count = %d want 4", rs.NumRules())
+	}
+	if err := Verify(p, a, rs); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestCompileLabelsStayDistinct(t *testing.T) {
+	// Two paths of one flow sharing their first hop must remain separate
+	// labelled rules (label switching preserves path identity).
+	links := []topology.Link{
+		topology.MakeLink(0, 1, topology.IntraOrbit),
+		topology.MakeLink(1, 2, topology.IntraOrbit),
+		topology.MakeLink(1, 3, topology.IntraOrbit),
+		topology.MakeLink(2, 4, topology.IntraOrbit),
+		topology.MakeLink(3, 4, topology.IntraOrbit),
+	}
+	p := &te.Problem{
+		NumNodes: 5,
+		Links:    links,
+		LinkCap:  []float64{100, 100, 100, 100, 100},
+		Flows: []te.FlowDemand{{
+			Src: 0, Dst: 4, DemandMbps: 20,
+			Paths: []paths.Path{paths.NewPath(0, 1, 2, 4), paths.NewPath(0, 1, 3, 4)},
+		}},
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := te.NewAllocation(p)
+	a.X[0][0] = 7
+	a.X[0][1] = 3
+	rs := Compile(p, a)
+	t0 := rs.Tables[0]
+	if len(t0.Rules) != 2 {
+		t.Fatalf("node 0 should carry both labels: %+v", t0.Rules)
+	}
+	// Node 1 forwards label 0 to node 2 (rate 7) and label 1 to node 3 (3).
+	t1 := rs.Tables[1]
+	if len(t1.Rules) != 2 || t1.Rules[0].Next != 2 || t1.Rules[0].RateMbps != 7 ||
+		t1.Rules[1].Next != 3 || t1.Rules[1].RateMbps != 3 {
+		t.Fatalf("node 1 rules: %+v", t1.Rules)
+	}
+	if err := Verify(p, a, rs); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	p := diamond(30)
+	a := te.NewAllocation(p)
+	a.X[0][0] = 10
+	rs := Compile(p, a)
+	// Corrupt: node 1 halves the rate of its rule.
+	rs.Tables[1].Rules[0].RateMbps = 5
+	if err := Verify(p, a, rs); err == nil {
+		t.Error("corrupted rules passed verification")
+	}
+}
+
+func TestCompileZeroAllocation(t *testing.T) {
+	p := diamond(30)
+	a := te.NewAllocation(p)
+	rs := Compile(p, a)
+	if rs.NumRules() != 0 {
+		t.Errorf("zero allocation produced %d rules", rs.NumRules())
+	}
+	if err := Verify(p, a, rs); err != nil {
+		t.Errorf("verify empty: %v", err)
+	}
+}
+
+func TestCompileEndToEndScenario(t *testing.T) {
+	// Full pipeline: scenario -> LP allocation -> rules -> conservation.
+	s := sim.NewScenario(constellation.Toy(5, 6), sim.ScenarioConfig{
+		Mode:              topology.CrossShellLasers,
+		Intensity:         6,
+		Seed:              3,
+		MinElevDeg:        5,
+		FlowDurationScale: 0.05,
+	})
+	p, _, _, err := s.ProblemAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) == 0 {
+		t.Skip("no flows")
+	}
+	a, err := (baselines.LPAuto{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Compile(p, a)
+	if err := Verify(p, a, rs); err != nil {
+		t.Fatalf("end-to-end rule verification: %v", err)
+	}
+	if rs.NumRules() == 0 {
+		t.Error("no rules compiled from a non-zero allocation")
+	}
+}
+
+func TestCompileLinkLoadsMatchProperty(t *testing.T) {
+	// Property: for any feasible allocation, link loads recomputed from the
+	// compiled rules equal the problem's own link-load accounting.
+	s := sim.NewScenario(constellation.Toy(5, 6), sim.ScenarioConfig{
+		Mode:              topology.CrossShellLasers,
+		Intensity:         6,
+		Seed:              5,
+		MinElevDeg:        5,
+		FlowDurationScale: 0.05,
+	})
+	p, _, _, err := s.ProblemAt(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) == 0 {
+		t.Skip("no flows")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		a := te.NewAllocation(p)
+		for fi := range a.X {
+			for pi := range a.X[fi] {
+				a.X[fi][pi] = rng.Float64() * 100
+			}
+		}
+		p.Trim(a) // make it feasible (and clamp negatives)
+		rs := Compile(p, a)
+		if err := Verify(p, a, rs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fromRules := LinkLoadsFromRules(p, rs)
+		wantLoads := p.LinkLoads(a)
+		for li, l := range p.Links {
+			key := uint64(l.A)<<32 | uint64(uint32(l.B))
+			got := fromRules[key]
+			if diff := got - wantLoads[li]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("trial %d link %d: rules %v, problem %v", trial, li, got, wantLoads[li])
+			}
+		}
+	}
+}

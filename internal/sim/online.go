@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"time"
+
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// Allocator is anything that computes a TE allocation (SaTE, the LP solvers,
+// the heuristics, the learned baselines).
+type Allocator interface {
+	Name() string
+	Solve(p *te.Problem) (*te.Allocation, error)
+}
+
+// OnlineConfig controls an online evaluation run.
+type OnlineConfig struct {
+	HorizonSec int
+	// StartSec offsets the evaluation window (e.g. past the arrival
+	// process's ramp-up into steady state).
+	StartSec float64
+	// IntervalSec is the recomputation interval. The paper sets it to the
+	// method's average computational latency (1 s for SaTE, 47 s for Gurobi,
+	// ...). Zero means "measure": the wall-clock latency of each solve,
+	// rounded up to at least 1 s, spaces the next recomputation.
+	IntervalSec float64
+	// StepSec is the metric sampling step (default 1 s).
+	StepSec float64
+}
+
+// OnlineResult summarises an online run.
+type OnlineResult struct {
+	Method string
+	// SatisfiedMean is the average per-step online satisfied demand.
+	SatisfiedMean float64
+	// Satisfied holds the per-step values.
+	Satisfied []float64
+	// Recomputations counts TE solves performed.
+	Recomputations int
+	// MeanSolveLatency is the average measured solve wall time.
+	MeanSolveLatency time.Duration
+}
+
+// activeAlloc is the allocation currently loaded into the network, with the
+// pair-indexed view used to score it against fresh demand.
+type activeAlloc struct {
+	problem *te.Problem
+	alloc   *te.Allocation
+	// perPair[src<<32|dst] = candidate paths with their allocated rates.
+	perPair map[uint64][]ratedPath
+}
+
+type ratedPath struct {
+	nodes []topology.NodeID
+	rate  float64
+}
+
+func pairKey(a, b topology.NodeID) uint64 { return uint64(a)<<32 | uint64(uint32(b)) }
+
+func newActiveAlloc(p *te.Problem, a *te.Allocation) *activeAlloc {
+	aa := &activeAlloc{problem: p, alloc: a, perPair: make(map[uint64][]ratedPath)}
+	for fi, f := range p.Flows {
+		k := pairKey(f.Src, f.Dst)
+		for pi, path := range f.Paths {
+			if a.X[fi][pi] <= 0 {
+				continue
+			}
+			aa.perPair[k] = append(aa.perPair[k], ratedPath{nodes: path.Nodes, rate: a.X[fi][pi]})
+		}
+	}
+	return aa
+}
+
+// satisfiedAgainst scores the active allocation against the CURRENT problem:
+// per pair, the deliverable rate is the allocated rate on paths still valid
+// in the current topology, capped by current demand. Pairs without an active
+// allocation deliver nothing — the cost of stale TE (Sec. 2.3.2).
+func (aa *activeAlloc) satisfiedAgainst(cur *te.Problem, links map[uint64]topology.Link) float64 {
+	total := cur.TotalDemand()
+	if total <= 0 {
+		return 1
+	}
+	var delivered float64
+	for _, f := range cur.Flows {
+		rps := aa.perPair[pairKey(f.Src, f.Dst)]
+		var rate float64
+		for _, rp := range rps {
+			if pathValid(rp.nodes, links) {
+				rate += rp.rate
+			}
+		}
+		if rate > f.DemandMbps {
+			rate = f.DemandMbps
+		}
+		delivered += rate
+	}
+	return delivered / total
+}
+
+func pathValid(nodes []topology.NodeID, links map[uint64]topology.Link) bool {
+	for i := 0; i+1 < len(nodes); i++ {
+		l := topology.MakeLink(nodes[i], nodes[i+1], topology.IntraOrbit)
+		if _, ok := links[uint64(l.A)<<32|uint64(uint32(l.B))]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RunOnline evaluates an allocator in the online setting: the allocation
+// computed from the state at each recomputation instant remains in effect
+// until the next one; every step scores the active (possibly stale)
+// allocation against the then-current topology and demand.
+func (s *Scenario) RunOnline(al Allocator, cfg OnlineConfig) (*OnlineResult, error) {
+	if cfg.StepSec <= 0 {
+		cfg.StepSec = 1
+	}
+	if cfg.HorizonSec <= 0 {
+		cfg.HorizonSec = 60
+	}
+	res := &OnlineResult{Method: al.Name()}
+	var active *activeAlloc
+	nextCompute := cfg.StartSec
+	var totalLatency time.Duration
+	for t := cfg.StartSec; t < cfg.StartSec+float64(cfg.HorizonSec); t += cfg.StepSec {
+		cur, snap, _, err := s.ProblemAt(t)
+		if err != nil {
+			return nil, err
+		}
+		if t >= nextCompute {
+			start := time.Now()
+			alloc, err := al.Solve(cur)
+			lat := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			totalLatency += lat
+			res.Recomputations++
+			active = newActiveAlloc(cur, alloc)
+			interval := cfg.IntervalSec
+			if interval <= 0 {
+				interval = lat.Seconds()
+			}
+			if interval < cfg.StepSec {
+				interval = cfg.StepSec
+			}
+			nextCompute = t + interval
+		}
+		links := snap.LinkSet()
+		res.Satisfied = append(res.Satisfied, active.satisfiedAgainst(cur, links))
+	}
+	var sum float64
+	for _, v := range res.Satisfied {
+		sum += v
+	}
+	if len(res.Satisfied) > 0 {
+		res.SatisfiedMean = sum / float64(len(res.Satisfied))
+	}
+	if res.Recomputations > 0 {
+		res.MeanSolveLatency = totalLatency / time.Duration(res.Recomputations)
+	}
+	return res, nil
+}
+
+// RunOffline evaluates the allocator with zero computation delay: each step's
+// problem is solved instantly and scored against itself (Appendix H.1).
+func (s *Scenario) RunOffline(al Allocator, steps int, stepSec float64) (*OnlineResult, error) {
+	if stepSec <= 0 {
+		stepSec = 1
+	}
+	res := &OnlineResult{Method: al.Name()}
+	var totalLatency time.Duration
+	for i := 0; i < steps; i++ {
+		p, _, _, err := s.ProblemAt(float64(i) * stepSec)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		a, err := al.Solve(p)
+		totalLatency += time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		res.Recomputations++
+		res.Satisfied = append(res.Satisfied, p.SatisfiedDemand(a))
+	}
+	var sum float64
+	for _, v := range res.Satisfied {
+		sum += v
+	}
+	if len(res.Satisfied) > 0 {
+		res.SatisfiedMean = sum / float64(len(res.Satisfied))
+	}
+	if res.Recomputations > 0 {
+		res.MeanSolveLatency = totalLatency / time.Duration(res.Recomputations)
+	}
+	return res, nil
+}
+
+// FlowLevelStats computes the per-pair satisfied-demand ratios of an
+// allocation (Appendix H.4, Fig. 16 a).
+func FlowLevelStats(p *te.Problem, a *te.Allocation) []float64 {
+	return p.FlowStats(a)
+}

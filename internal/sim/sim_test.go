@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/orbit"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+func toyScenario(intensity float64, seed int64) *Scenario {
+	return NewScenario(constellation.Toy(5, 6), ScenarioConfig{
+		Mode:      topology.CrossShellLasers,
+		Intensity: intensity,
+		Seed:      seed,
+		Users:     2000, UserClusters: 60, Gateways: 8, Relays: 4, MinElevDeg: 5,
+	})
+}
+
+func TestProblemAtProducesDemand(t *testing.T) {
+	s := toyScenario(50, 3)
+	p, snap, m, err := s.ProblemAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || m == nil {
+		t.Fatal("nil outputs")
+	}
+	if len(p.Flows) == 0 {
+		t.Fatal("no flows at t=20 with lambda=50")
+	}
+	if p.NumNodes != snap.NumNodes {
+		t.Error("node count mismatch")
+	}
+}
+
+func TestPathDBIncrementalAcrossSteps(t *testing.T) {
+	s := toyScenario(40, 5)
+	if _, _, _, err := s.ProblemAt(0); err != nil {
+		t.Fatal(err)
+	}
+	db := s.PathDB
+	for _, tm := range []float64{10, 20, 30} {
+		if _, _, _, err := s.ProblemAt(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.PathDB != db {
+		t.Error("path DB was rebuilt instead of updated")
+	}
+}
+
+func TestRunOfflineNearOptimalWithExactSolver(t *testing.T) {
+	s := toyScenario(60, 7)
+	res, err := s.RunOffline(baselines.LPExact{}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recomputations != 3 || len(res.Satisfied) != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	for _, v := range res.Satisfied {
+		if v < 0 || v > 1 {
+			t.Fatalf("satisfied out of range: %v", v)
+		}
+	}
+	if res.MeanSolveLatency <= 0 {
+		t.Error("latency not measured")
+	}
+}
+
+func TestRunOnlineStaleAllocationHurts(t *testing.T) {
+	// The same solver evaluated with a 1-second interval must do at least as
+	// well as with a 60-second interval (stale allocations lose demand).
+	fresh := toyScenario(80, 11)
+	stale := toyScenario(80, 11)
+	fast, err := fresh.RunOnline(baselines.ECMPWF{}, OnlineConfig{HorizonSec: 60, IntervalSec: 1, StepSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := stale.RunOnline(baselines.ECMPWF{}, OnlineConfig{HorizonSec: 60, IntervalSec: 60, StepSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Recomputations <= slow.Recomputations {
+		t.Fatalf("interval not respected: %d vs %d solves", fast.Recomputations, slow.Recomputations)
+	}
+	if fast.SatisfiedMean < slow.SatisfiedMean-0.02 {
+		t.Errorf("frequent recomputation should not hurt: fast %.3f slow %.3f",
+			fast.SatisfiedMean, slow.SatisfiedMean)
+	}
+	if fast.SatisfiedMean <= 0 {
+		t.Error("nothing satisfied")
+	}
+}
+
+func TestRunOnlineMeasuredInterval(t *testing.T) {
+	s := toyScenario(40, 13)
+	res, err := s.RunOnline(baselines.ECMPWF{}, OnlineConfig{HorizonSec: 10, StepSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECMP-WF solves in well under a second at toy scale: it should
+	// recompute every step.
+	if res.Recomputations < 8 {
+		t.Errorf("measured-interval mode recomputed only %d times", res.Recomputations)
+	}
+}
+
+func TestProblemWithFailures(t *testing.T) {
+	s := toyScenario(60, 17)
+	rng := rand.New(rand.NewSource(1))
+	p0, err := s.ProblemWithFailures(10, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := s.ProblemWithFailures(10, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p5.Links) >= len(p0.Links) {
+		t.Errorf("failures did not remove links: %d vs %d", len(p5.Links), len(p0.Links))
+	}
+	// Throughput under failures is at most throughput without (same demand).
+	a0, err := (baselines.LPExact{}).Solve(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a5, err := (baselines.LPExact{}).Solve(p5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a5.Throughput() > a0.Throughput()+1e-6 {
+		t.Errorf("failures increased throughput: %v > %v", a5.Throughput(), a0.Throughput())
+	}
+}
+
+func TestRuleDistributionDelays(t *testing.T) {
+	cons := constellation.StarlinkPhase1()
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	snap := gen.Snapshot(0)
+	delays := RuleDistributionDelays(snap, HoustonSite, orbit.Deg(25))
+	st := SummarizeDelays(delays)
+	if st.Reachable < snap.NumSats*95/100 {
+		t.Fatalf("only %d/%d satellites reachable", st.Reachable, snap.NumSats)
+	}
+	// Appendix D: delays range 2.3 ms .. 174 ms for Starlink. Allow slack but
+	// require the same order of magnitude.
+	if st.MinSec < 0.001 || st.MinSec > 0.02 {
+		t.Errorf("min delay %v s, want ~2.3 ms", st.MinSec)
+	}
+	if st.MaxSec < 0.05 || st.MaxSec > 0.4 {
+		t.Errorf("max delay %v s, want ~174 ms", st.MaxSec)
+	}
+	if st.MeanSec <= st.MinSec || st.MeanSec >= st.MaxSec {
+		t.Errorf("mean %v outside (min,max)", st.MeanSec)
+	}
+}
+
+func TestSummarizeDelaysEmpty(t *testing.T) {
+	st := SummarizeDelays([]float64{math.Inf(1)})
+	if st.Reachable != 0 || st.MeanSec != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScenarioRelayMode(t *testing.T) {
+	s := NewScenario(constellation.Toy(5, 6), ScenarioConfig{
+		Mode:      topology.CrossShellGroundRelays,
+		Intensity: 40,
+		Seed:      19,
+		Users:     2000, UserClusters: 50, Gateways: 6, Relays: 30,
+	})
+	p, snap, _, err := s.ProblemAt(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != s.Cons.Size()+30 {
+		t.Errorf("relay nodes missing: %d", snap.NumNodes)
+	}
+	if len(p.Flows) == 0 {
+		t.Error("no flows in relay mode")
+	}
+}
+
+func TestRuleCountAndOverhead(t *testing.T) {
+	s := toyScenario(60, 23)
+	p, _, _, err := s.ProblemAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (baselines.ECMPWF{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := RuleCount(p, a)
+	if rules <= 0 {
+		t.Fatal("no rules for a non-empty allocation")
+	}
+	// Appendix D: overhead must be a tiny fraction of interval capacity.
+	frac := RuleOverheadFraction(p, a, 64, 1.0)
+	if frac <= 0 || frac > 0.05 {
+		t.Errorf("rule overhead fraction = %v; expected small positive", frac)
+	}
+	// Zero allocation compiles to zero rules.
+	zero := te.NewAllocation(p)
+	if RuleCount(p, zero) != 0 {
+		t.Error("zero allocation has rules")
+	}
+}

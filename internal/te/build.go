@@ -1,0 +1,83 @@
+package te
+
+import (
+	"math"
+
+	"sate/internal/paths"
+	"sate/internal/topology"
+	"sate/internal/traffic"
+)
+
+// BuildConfig controls problem assembly from a scenario.
+type BuildConfig struct {
+	// LinkCapMbps is the capacity of every ISL and relay link (paper: 200).
+	LinkCapMbps float64
+	// AccessMbps is the per-connection uplink/downlink capacity (paper: 50).
+	// Per-satellite access capacity is AccessMbps times the number of
+	// underlying flows attached at that satellite; zero disables access
+	// constraints.
+	AccessMbps float64
+	// K is the number of candidate paths per flow (paper: 10).
+	K int
+}
+
+// DefaultBuildConfig returns the paper's evaluation parameters.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{LinkCapMbps: 200, AccessMbps: 50, K: 10}
+}
+
+// Build assembles a TE problem from a topology snapshot, a sparse traffic
+// matrix and a path database. Demands whose pair has no valid path in the
+// snapshot are kept (they count toward total demand — they simply cannot be
+// satisfied, as in the paper's online metric); their path list is empty.
+func Build(s *topology.Snapshot, m *traffic.Matrix, db *paths.DB, cfg BuildConfig) (*Problem, error) {
+	p := &Problem{
+		NumNodes: s.NumNodes,
+		Links:    append([]topology.Link(nil), s.Links...),
+	}
+	p.LinkCap = make([]float64, len(p.Links))
+	for i := range p.LinkCap {
+		p.LinkCap[i] = cfg.LinkCapMbps
+	}
+
+	var upConn, downConn []int
+	if cfg.AccessMbps > 0 {
+		upConn = make([]int, s.NumNodes)
+		downConn = make([]int, s.NumNodes)
+	}
+	for _, e := range m.Entries {
+		ps := db.Paths(e.Src, e.Dst)
+		p.Flows = append(p.Flows, FlowDemand{
+			Src:        topology.NodeID(e.Src),
+			Dst:        topology.NodeID(e.Dst),
+			DemandMbps: e.DemandMbps,
+			Paths:      append([]paths.Path(nil), ps...),
+		})
+		if cfg.AccessMbps > 0 {
+			n := len(e.Flows)
+			if n == 0 {
+				n = 1
+			}
+			upConn[e.Src] += n
+			downConn[e.Dst] += n
+		}
+	}
+	if cfg.AccessMbps > 0 {
+		p.UpCap = make([]float64, s.NumNodes)
+		p.DownCap = make([]float64, s.NumNodes)
+		for n := 0; n < s.NumNodes; n++ {
+			p.UpCap[n] = math.Inf(1)
+			p.DownCap[n] = math.Inf(1)
+			if upConn[n] > 0 {
+				p.UpCap[n] = cfg.AccessMbps * float64(upConn[n])
+			}
+			if downConn[n] > 0 {
+				p.DownCap[n] = cfg.AccessMbps * float64(downConn[n])
+			}
+		}
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

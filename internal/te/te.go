@@ -1,0 +1,377 @@
+// Package te defines the satellite traffic-engineering problem of Appendix A:
+// flows with candidate paths, link capacity constraints, per-satellite
+// uplink/downlink capacities and per-flow demand caps, plus allocations,
+// feasibility checking/trimming, and the evaluation metrics (satisfied
+// demand, maximum link utilisation, flow-level statistics).
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"sate/internal/paths"
+	"sate/internal/topology"
+)
+
+// FlowDemand is one TE commodity: the aggregated demand between a satellite
+// pair and its candidate paths (traffic-matrix entry + preconfigured paths).
+type FlowDemand struct {
+	Src, Dst   topology.NodeID
+	DemandMbps float64
+	Paths      []paths.Path
+}
+
+// Problem is a complete TE instance.
+type Problem struct {
+	NumNodes int
+	Links    []topology.Link
+	LinkCap  []float64 // Mbps per link, parallel to Links
+	Flows    []FlowDemand
+
+	// UpCap and DownCap are per-node access-capacity limits (constraints 2.c
+	// and 2.d). A zero-length slice disables the constraint family;
+	// math.Inf(1) entries disable individual nodes.
+	UpCap, DownCap []float64
+
+	linkIndex map[uint64]int
+	// pathLinks[f][p] lists link indices traversed by path p of flow f.
+	pathLinks [][][]int
+}
+
+func linkKey(l topology.Link) uint64 { return uint64(l.A)<<32 | uint64(uint32(l.B)) }
+
+// Finalize builds the link index and path-link incidence (the Phi matrix of
+// Appendix A, stored sparsely). It must be called after the fields are set
+// and before solving. Paths that traverse unknown links are dropped from
+// their flow (they are obsolete w.r.t. the link set).
+func (p *Problem) Finalize() error {
+	if len(p.Links) != len(p.LinkCap) {
+		return fmt.Errorf("te: %d links but %d capacities", len(p.Links), len(p.LinkCap))
+	}
+	p.linkIndex = make(map[uint64]int, len(p.Links))
+	for i, l := range p.Links {
+		p.linkIndex[linkKey(l)] = i
+	}
+	p.pathLinks = make([][][]int, len(p.Flows))
+	for fi := range p.Flows {
+		f := &p.Flows[fi]
+		kept := f.Paths[:0]
+		var pls [][]int
+		for _, path := range f.Paths {
+			links := path.Links()
+			idx := make([]int, 0, len(links))
+			ok := true
+			for _, l := range links {
+				li, found := p.linkIndex[linkKey(l)]
+				if !found {
+					ok = false
+					break
+				}
+				idx = append(idx, li)
+			}
+			if ok {
+				kept = append(kept, path)
+				pls = append(pls, idx)
+			}
+		}
+		f.Paths = kept
+		p.pathLinks[fi] = pls
+	}
+	return nil
+}
+
+// LinkIndexOf returns the index of a link, or -1.
+func (p *Problem) LinkIndexOf(l topology.Link) int {
+	if i, ok := p.linkIndex[linkKey(l)]; ok {
+		return i
+	}
+	return -1
+}
+
+// PathLinks returns the link indices of path pi of flow fi.
+func (p *Problem) PathLinks(fi, pi int) []int { return p.pathLinks[fi][pi] }
+
+// TotalDemand returns the sum of all flow demands.
+func (p *Problem) TotalDemand() float64 {
+	var s float64
+	for _, f := range p.Flows {
+		s += f.DemandMbps
+	}
+	return s
+}
+
+// NumPaths returns the total number of (flow, path) variables.
+func (p *Problem) NumPaths() int {
+	n := 0
+	for _, f := range p.Flows {
+		n += len(f.Paths)
+	}
+	return n
+}
+
+// Allocation is a TE solution: x[f][p] is the Mbps assigned to path p of
+// flow f (the x_fp of Appendix A).
+type Allocation struct {
+	X [][]float64
+}
+
+// NewAllocation creates a zero allocation shaped for the problem.
+func NewAllocation(p *Problem) *Allocation {
+	x := make([][]float64, len(p.Flows))
+	for i, f := range p.Flows {
+		x[i] = make([]float64, len(f.Paths))
+	}
+	return &Allocation{X: x}
+}
+
+// Clone deep-copies the allocation.
+func (a *Allocation) Clone() *Allocation {
+	x := make([][]float64, len(a.X))
+	for i := range a.X {
+		x[i] = append([]float64(nil), a.X[i]...)
+	}
+	return &Allocation{X: x}
+}
+
+// Throughput returns the total allocated traffic (objective 2.a).
+func (a *Allocation) Throughput() float64 {
+	var s float64
+	for _, row := range a.X {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// FlowThroughput returns the total allocation of flow f.
+func (a *Allocation) FlowThroughput(f int) float64 {
+	var s float64
+	for _, v := range a.X[f] {
+		s += v
+	}
+	return s
+}
+
+// LinkLoads returns per-link traffic under the allocation.
+func (p *Problem) LinkLoads(a *Allocation) []float64 {
+	load := make([]float64, len(p.Links))
+	for fi := range p.Flows {
+		for pi := range p.Flows[fi].Paths {
+			v := a.X[fi][pi]
+			if v == 0 {
+				continue
+			}
+			for _, li := range p.pathLinks[fi][pi] {
+				load[li] += v
+			}
+		}
+	}
+	return load
+}
+
+// NodeLoads returns per-node uplink (sourced) and downlink (terminated)
+// traffic under the allocation.
+func (p *Problem) NodeLoads(a *Allocation) (up, down []float64) {
+	up = make([]float64, p.NumNodes)
+	down = make([]float64, p.NumNodes)
+	for fi, f := range p.Flows {
+		t := a.FlowThroughput(fi)
+		up[f.Src] += t
+		down[f.Dst] += t
+	}
+	return up, down
+}
+
+// MLU returns the maximum link utilisation: max_e load_e / cap_e.
+func (p *Problem) MLU(a *Allocation) float64 {
+	loads := p.LinkLoads(a)
+	m := 0.0
+	for i, l := range loads {
+		if p.LinkCap[i] <= 0 {
+			continue
+		}
+		if u := l / p.LinkCap[i]; u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// SatisfiedDemand returns throughput divided by total demand, in [0,1].
+func (p *Problem) SatisfiedDemand(a *Allocation) float64 {
+	d := p.TotalDemand()
+	if d == 0 {
+		return 1
+	}
+	return a.Throughput() / d
+}
+
+// Violations summarises constraint violations of an allocation.
+type Violations struct {
+	LinkOver   float64 // total Mbps above link capacities
+	UpOver     float64 // total Mbps above uplink capacities
+	DownOver   float64 // total Mbps above downlink capacities
+	DemandOver float64 // total Mbps above flow demands
+	Negative   float64 // total magnitude of negative allocations
+}
+
+// Any reports whether any violation exceeds the tolerance.
+func (v Violations) Any(tol float64) bool {
+	return v.LinkOver > tol || v.UpOver > tol || v.DownOver > tol || v.DemandOver > tol || v.Negative > tol
+}
+
+// Check measures all constraint violations of an allocation.
+func (p *Problem) Check(a *Allocation) Violations {
+	var v Violations
+	for fi := range p.Flows {
+		var t float64
+		for _, x := range a.X[fi] {
+			if x < 0 {
+				v.Negative -= x
+				continue
+			}
+			t += x
+		}
+		if over := t - p.Flows[fi].DemandMbps; over > 0 {
+			v.DemandOver += over
+		}
+	}
+	loads := p.LinkLoads(a)
+	for i, l := range loads {
+		if over := l - p.LinkCap[i]; over > 0 {
+			v.LinkOver += over
+		}
+	}
+	if len(p.UpCap) > 0 || len(p.DownCap) > 0 {
+		up, down := p.NodeLoads(a)
+		for n := 0; n < p.NumNodes; n++ {
+			if len(p.UpCap) > 0 {
+				if over := up[n] - p.UpCap[n]; over > 0 && !math.IsInf(p.UpCap[n], 1) {
+					v.UpOver += over
+				}
+			}
+			if len(p.DownCap) > 0 {
+				if over := down[n] - p.DownCap[n]; over > 0 && !math.IsInf(p.DownCap[n], 1) {
+					v.DownOver += over
+				}
+			}
+		}
+	}
+	return v
+}
+
+// Trim repairs an infeasible allocation in place (Sec. 3.3, "Correction for
+// Constraint Violation"): negatives are clamped, per-flow totals are scaled
+// down to demand, and each path is scaled by the most-violated resource it
+// traverses. The result is always feasible.
+func (p *Problem) Trim(a *Allocation) {
+	// Clamp negatives and enforce demand caps.
+	for fi, f := range p.Flows {
+		var t float64
+		for pi, x := range a.X[fi] {
+			if x < 0 || math.IsNaN(x) {
+				a.X[fi][pi] = 0
+				x = 0
+			}
+			t += x
+		}
+		if t > f.DemandMbps && t > 0 {
+			s := f.DemandMbps / t
+			for pi := range a.X[fi] {
+				a.X[fi][pi] *= s
+			}
+		}
+	}
+	// Resource scaling: compute scale factor per resource, then scale each
+	// path by the minimum factor across the resources it uses. The scaled
+	// loads can only decrease, so a single pass suffices for feasibility.
+	loads := p.LinkLoads(a)
+	linkScale := make([]float64, len(loads))
+	for i := range loads {
+		linkScale[i] = 1
+		if loads[i] > p.LinkCap[i] && loads[i] > 0 {
+			linkScale[i] = p.LinkCap[i] / loads[i]
+		}
+	}
+	var upScale, downScale []float64
+	if len(p.UpCap) > 0 || len(p.DownCap) > 0 {
+		up, down := p.NodeLoads(a)
+		upScale = make([]float64, p.NumNodes)
+		downScale = make([]float64, p.NumNodes)
+		for n := 0; n < p.NumNodes; n++ {
+			upScale[n], downScale[n] = 1, 1
+			if len(p.UpCap) > 0 && !math.IsInf(p.UpCap[n], 1) && up[n] > p.UpCap[n] && up[n] > 0 {
+				upScale[n] = p.UpCap[n] / up[n]
+			}
+			if len(p.DownCap) > 0 && !math.IsInf(p.DownCap[n], 1) && down[n] > p.DownCap[n] && down[n] > 0 {
+				downScale[n] = p.DownCap[n] / down[n]
+			}
+		}
+	}
+	for fi, f := range p.Flows {
+		for pi := range f.Paths {
+			s := 1.0
+			for _, li := range p.pathLinks[fi][pi] {
+				if linkScale[li] < s {
+					s = linkScale[li]
+				}
+			}
+			if upScale != nil {
+				if upScale[f.Src] < s {
+					s = upScale[f.Src]
+				}
+				if downScale[f.Dst] < s {
+					s = downScale[f.Dst]
+				}
+			}
+			if s < 1 {
+				a.X[fi][pi] *= s
+			}
+		}
+	}
+}
+
+// FlowStats returns the per-flow satisfied-demand ratios (allocated/demand),
+// used for the flow-level analysis of Appendix H.4.
+func (p *Problem) FlowStats(a *Allocation) []float64 {
+	out := make([]float64, len(p.Flows))
+	for fi, f := range p.Flows {
+		if f.DemandMbps <= 0 {
+			out[fi] = 1
+			continue
+		}
+		out[fi] = a.FlowThroughput(fi) / f.DemandMbps
+	}
+	return out
+}
+
+// JainIndex returns Jain's fairness index of the per-flow satisfaction
+// ratios: (sum x)^2 / (n * sum x^2), in (0, 1], 1 = perfectly fair.
+func (p *Problem) JainIndex(a *Allocation) float64 {
+	ratios := p.FlowStats(a)
+	if len(ratios) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, r := range ratios {
+		sum += r
+		sumSq += r * r
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	n := float64(len(ratios))
+	return sum * sum / (n * sumSq)
+}
+
+// LogUtility returns the proportional-fairness utility sum(log(1+x_f)) of
+// Appendix A Eq. (3) ("Maximize Network Utility" with a concave log that
+// limits any single flow from monopolising resources).
+func (p *Problem) LogUtility(a *Allocation) float64 {
+	var u float64
+	for fi := range p.Flows {
+		u += math.Log1p(a.FlowThroughput(fi))
+	}
+	return u
+}

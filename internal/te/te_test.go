@@ -1,0 +1,326 @@
+package te
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sate/internal/constellation"
+	"sate/internal/groundnet"
+	"sate/internal/orbit"
+	"sate/internal/paths"
+	"sate/internal/topology"
+	"sate/internal/traffic"
+)
+
+// diamond builds a tiny 4-node problem:
+//
+//	0 --(a)-- 1 --(b)-- 3
+//	0 --(c)-- 2 --(d)-- 3
+//
+// with one flow 0->3 over both 2-hop paths.
+func diamond(capA, capB, capC, capD, demand float64) *Problem {
+	links := []topology.Link{
+		topology.MakeLink(0, 1, topology.IntraOrbit),
+		topology.MakeLink(1, 3, topology.IntraOrbit),
+		topology.MakeLink(0, 2, topology.IntraOrbit),
+		topology.MakeLink(2, 3, topology.IntraOrbit),
+	}
+	p := &Problem{
+		NumNodes: 4,
+		Links:    links,
+		LinkCap:  []float64{capA, capB, capC, capD},
+		Flows: []FlowDemand{{
+			Src: 0, Dst: 3, DemandMbps: demand,
+			Paths: []paths.Path{paths.NewPath(0, 1, 3), paths.NewPath(0, 2, 3)},
+		}},
+	}
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestFinalizeDropsObsoletePaths(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 5)
+	// Add a path over a non-existent link.
+	p.Flows[0].Paths = append(p.Flows[0].Paths, paths.NewPath(0, 3))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows[0].Paths) != 2 {
+		t.Errorf("paths after finalize = %d, want 2", len(p.Flows[0].Paths))
+	}
+}
+
+func TestFinalizeCapMismatch(t *testing.T) {
+	p := &Problem{Links: []topology.Link{topology.MakeLink(0, 1, topology.IntraOrbit)}}
+	if err := p.Finalize(); err == nil {
+		t.Error("expected error on cap/link mismatch")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 30)
+	a := NewAllocation(p)
+	a.X[0][0] = 10
+	a.X[0][1] = 5
+	if got := a.Throughput(); got != 15 {
+		t.Errorf("throughput = %v", got)
+	}
+	if got := p.SatisfiedDemand(a); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("satisfied = %v", got)
+	}
+	loads := p.LinkLoads(a)
+	want := []float64{10, 10, 5, 5}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Errorf("load[%d] = %v want %v", i, loads[i], want[i])
+		}
+	}
+	if got := p.MLU(a); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("MLU = %v", got)
+	}
+	up, down := p.NodeLoads(a)
+	if up[0] != 15 || down[3] != 15 {
+		t.Errorf("node loads up=%v down=%v", up, down)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 12)
+	a := NewAllocation(p)
+	a.X[0][0] = 11 // link over by 1 on links a,b; flow total 11 < 12 OK
+	a.X[0][1] = -2 // negative
+	v := p.Check(a)
+	if v.LinkOver != 2 {
+		t.Errorf("linkOver = %v want 2", v.LinkOver)
+	}
+	if v.Negative != 2 {
+		t.Errorf("negative = %v", v.Negative)
+	}
+	if !v.Any(1e-9) {
+		t.Error("violations not detected")
+	}
+	a2 := NewAllocation(p)
+	a2.X[0][0] = 5
+	if p.Check(a2).Any(1e-9) {
+		t.Error("feasible allocation flagged")
+	}
+}
+
+func TestDemandOverViolation(t *testing.T) {
+	p := diamond(100, 100, 100, 100, 8)
+	a := NewAllocation(p)
+	a.X[0][0] = 6
+	a.X[0][1] = 6
+	v := p.Check(a)
+	if math.Abs(v.DemandOver-4) > 1e-12 {
+		t.Errorf("demandOver = %v want 4", v.DemandOver)
+	}
+}
+
+func TestTrimRestoresFeasibility(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 12)
+	a := NewAllocation(p)
+	a.X[0][0] = 25
+	a.X[0][1] = math.NaN()
+	p.Trim(a)
+	if v := p.Check(a); v.Any(1e-9) {
+		t.Errorf("trim left violations: %+v", v)
+	}
+	if a.Throughput() <= 0 {
+		t.Error("trim zeroed everything")
+	}
+}
+
+func TestTrimPreservesFeasible(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 12)
+	a := NewAllocation(p)
+	a.X[0][0] = 6
+	a.X[0][1] = 6
+	p.Trim(a)
+	if math.Abs(a.X[0][0]-6) > 1e-12 || math.Abs(a.X[0][1]-6) > 1e-12 {
+		t.Errorf("feasible allocation modified: %v", a.X[0])
+	}
+}
+
+func TestTrimProperty(t *testing.T) {
+	p := diamond(10, 7, 4, 9, 15)
+	f := func(x0, x1 float64) bool {
+		a := NewAllocation(p)
+		a.X[0][0] = math.Mod(x0, 100)
+		a.X[0][1] = math.Mod(x1, 100)
+		p.Trim(a)
+		return !p.Check(a).Any(1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimWithAccessCaps(t *testing.T) {
+	p := diamond(100, 100, 100, 100, 80)
+	p.UpCap = []float64{20, math.Inf(1), math.Inf(1), math.Inf(1)}
+	p.DownCap = []float64{math.Inf(1), math.Inf(1), math.Inf(1), 15}
+	a := NewAllocation(p)
+	a.X[0][0] = 40
+	a.X[0][1] = 40
+	p.Trim(a)
+	if v := p.Check(a); v.Any(1e-9) {
+		t.Errorf("violations after trim: %+v", v)
+	}
+	// Downlink at node 3 (15) is the binding constraint.
+	if got := a.Throughput(); got > 15+1e-9 {
+		t.Errorf("throughput %v exceeds downlink cap 15", got)
+	}
+}
+
+func TestFlowStats(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 20)
+	a := NewAllocation(p)
+	a.X[0][0] = 5
+	st := p.FlowStats(a)
+	if len(st) != 1 || math.Abs(st[0]-0.25) > 1e-12 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestAllocationClone(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 20)
+	a := NewAllocation(p)
+	a.X[0][0] = 5
+	b := a.Clone()
+	b.X[0][0] = 9
+	if a.X[0][0] != 5 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestBuildFromScenario(t *testing.T) {
+	cons := constellation.Toy(6, 8)
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	snap := gen.Snapshot(0)
+
+	grid := groundnet.SyntheticPopulation(1)
+	seg := groundnet.Build(grid, groundnet.Config{
+		Users: 3000, UserClusters: 80, Gateways: 10, Relays: 5, Gamma: 0.1, Seed: 2,
+	})
+	loc := groundnet.NewSatLocator(cons)
+	loc.Update(snap.Pos[:snap.NumSats])
+	tg := traffic.NewGenerator(seg, traffic.DefaultConfig(40, 11))
+	tg.AdvanceTo(20)
+	m := traffic.BuildMatrix(tg.ActiveFlows(), loc, orbit.Deg(5), cons.Size())
+	if len(m.Entries) == 0 {
+		t.Fatal("no demand")
+	}
+
+	db := paths.NewDB(cons, snap, 4)
+	p, err := Build(snap, m, db, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) != len(m.Entries) {
+		t.Errorf("flows = %d, entries = %d", len(p.Flows), len(m.Entries))
+	}
+	if math.Abs(p.TotalDemand()-m.Total()) > 1e-9 {
+		t.Errorf("demand mismatch: %v vs %v", p.TotalDemand(), m.Total())
+	}
+	withPaths := 0
+	for _, f := range p.Flows {
+		if len(f.Paths) > 0 {
+			withPaths++
+		}
+	}
+	if withPaths == 0 {
+		t.Fatal("no flow has candidate paths")
+	}
+	// Access caps: finite for nodes with demand.
+	someFinite := false
+	for _, c := range p.UpCap {
+		if !math.IsInf(c, 1) {
+			someFinite = true
+		}
+	}
+	if !someFinite {
+		t.Error("no finite uplink capacity")
+	}
+	if p.NumPaths() == 0 {
+		t.Error("no path variables")
+	}
+}
+
+func TestBuildRandomizedTrimAlwaysFeasible(t *testing.T) {
+	cons := constellation.Toy(4, 6)
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	snap := gen.Snapshot(0)
+	grid := groundnet.SyntheticPopulation(1)
+	seg := groundnet.Build(grid, groundnet.Config{
+		Users: 1000, UserClusters: 40, Gateways: 5, Relays: 3, Gamma: 0.2, Seed: 4,
+	})
+	loc := groundnet.NewSatLocator(cons)
+	loc.Update(snap.Pos[:snap.NumSats])
+	tg := traffic.NewGenerator(seg, traffic.DefaultConfig(30, 13))
+	tg.AdvanceTo(15)
+	m := traffic.BuildMatrix(tg.ActiveFlows(), loc, orbit.Deg(5), cons.Size())
+	db := paths.NewDB(cons, snap, 3)
+	p, err := Build(snap, m, db, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		a := NewAllocation(p)
+		for fi := range a.X {
+			for pi := range a.X[fi] {
+				a.X[fi][pi] = (rng.Float64() - 0.1) * 500
+			}
+		}
+		p.Trim(a)
+		if v := p.Check(a); v.Any(1e-6) {
+			t.Fatalf("trial %d: violations %+v", trial, v)
+		}
+	}
+}
+
+func TestWriteLPFormat(t *testing.T) {
+	p := diamond(10, 10, 10, 10, 12)
+	p.UpCap = []float64{30, math.Inf(1), math.Inf(1), math.Inf(1)}
+	p.DownCap = []float64{math.Inf(1), math.Inf(1), math.Inf(1), 25}
+	var buf strings.Builder
+	if err := p.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Maximize", "Subject To", "Bounds", "End",
+		"x_f0_p0", "x_f0_p1",
+		"demand_0: x_f0_p0 + x_f0_p1 <= 12",
+		"up_0:", "dn_3:",
+		"<= 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+	// Every link used by a path gets a capacity row.
+	if n := strings.Count(out, "link_"); n != 4 {
+		t.Errorf("link constraints = %d, want 4", n)
+	}
+}
+
+func TestWriteLPEmptyProblem(t *testing.T) {
+	p := &Problem{NumNodes: 2}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := p.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "End") {
+		t.Error("malformed empty LP")
+	}
+}

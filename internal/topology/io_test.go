@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := toyGen(CrossShellLasers)
+	s := g.Snapshot(123.5)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeSec != s.TimeSec || got.NumSats != s.NumSats || got.NumNodes != s.NumNodes {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !got.SameTopology(s) {
+		t.Fatal("link set not preserved")
+	}
+	if len(got.Pos) != len(s.Pos) {
+		t.Fatal("positions missing")
+	}
+	for i := range s.Pos {
+		if got.Pos[i] != s.Pos[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("XXXXjunkjunkjunk"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	g := toyGen(CrossShellNone)
+	s := g.Snapshot(0)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	g := toyGen(CrossShellLasers)
+	snaps := g.Series(0, 30, 5)
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snaps) {
+		t.Fatalf("series length %d want %d", len(got), len(snaps))
+	}
+	for i := range snaps {
+		if !got[i].SameTopology(snaps[i]) {
+			t.Fatalf("snapshot %d topology differs", i)
+		}
+	}
+	// THT analysis on the round-tripped series matches the original.
+	a := MeasureTHT(snaps, 30)
+	b := MeasureTHT(got, 30)
+	if len(a.HoldTimesSec) != len(b.HoldTimesSec) {
+		t.Error("THT differs after round trip")
+	}
+}

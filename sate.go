@@ -1,0 +1,198 @@
+// Package sate is the public API of the SaTE reproduction: low-latency
+// traffic engineering for large-scale LEO satellite constellations
+// (SIGCOMM 2025), implemented from scratch in pure Go.
+//
+// The package re-exports the building blocks a downstream user needs:
+// constellations and topology generation, traffic workloads, TE problems,
+// the SaTE GNN model (training + millisecond inference), the competing
+// schemes, and the online evaluation engine. The heavy lifting lives in the
+// internal packages; this facade keeps a small, stable surface.
+//
+// Quick start:
+//
+//	cons := sate.Iridium() // or sate.Starlink() for the full Phase 1
+//	scen := sate.NewScenario(cons, sate.ScenarioConfig{
+//		Mode: sate.CrossShellLasers, Intensity: 8, Seed: 1,
+//		MinElevDeg: 10, FlowDurationScale: 0.05, // steady state quickly
+//	})
+//	model, err := sate.Train(scen, sate.TrainOptions{Samples: 4, Epochs: 30})
+//	problem, _, _, _ := scen.ProblemAt(700) // unseen topology + traffic
+//	alloc, _ := model.Solve(problem)        // milliseconds
+//	fmt.Println(problem.SatisfiedDemand(alloc))
+package sate
+
+import (
+	"time"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/core"
+	"sate/internal/experiments"
+	"sate/internal/sim"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Constellation is an instantiated satellite constellation.
+	Constellation = constellation.Constellation
+	// Scenario bundles topology, ground segment and traffic over time.
+	Scenario = sim.Scenario
+	// ScenarioConfig parameterises scenario construction.
+	ScenarioConfig = sim.ScenarioConfig
+	// Problem is a TE problem instance (Appendix A formulation).
+	Problem = te.Problem
+	// Allocation is a TE solution x_fp.
+	Allocation = te.Allocation
+	// Model is the SaTE GNN.
+	Model = core.Model
+	// ModelConfig holds SaTE hyperparameters.
+	ModelConfig = core.Config
+	// Allocator is anything that solves TE problems.
+	Allocator = sim.Allocator
+	// OnlineConfig controls online evaluation.
+	OnlineConfig = sim.OnlineConfig
+	// OnlineResult is an online evaluation outcome.
+	OnlineResult = sim.OnlineResult
+	// Report is a rendered experiment result.
+	Report = experiments.Report
+)
+
+// Cross-shell link modes (Fig. 2).
+const (
+	CrossShellLasers       = topology.CrossShellLasers
+	CrossShellGroundRelays = topology.CrossShellGroundRelays
+	CrossShellNone         = topology.CrossShellNone
+)
+
+// Shell describes one Walker-style orbital shell for custom constellations.
+type Shell = constellation.Shell
+
+// NewConstellation builds a custom constellation from shell descriptions
+// (see constellation.New); the Table-4 presets below cover the paper's.
+func NewConstellation(name string, shells []Shell) (*Constellation, error) {
+	return constellation.New(name, shells)
+}
+
+// Constellation presets (Table 4).
+var (
+	// Starlink returns the 4-shell, 4236-satellite Starlink Phase 1.
+	Starlink = constellation.StarlinkPhase1
+	// Iridium returns the 66-satellite Iridium constellation.
+	Iridium = constellation.Iridium
+	// MidSize1 returns the 396-satellite constellation of Sec. 4.
+	MidSize1 = constellation.MidSize1
+	// MidSize2 returns the 1584-satellite constellation of Sec. 4.
+	MidSize2 = constellation.MidSize2
+)
+
+// NewScenario assembles a simulation scenario (see sim.NewScenario).
+func NewScenario(c *Constellation, cfg ScenarioConfig) *Scenario {
+	return sim.NewScenario(c, cfg)
+}
+
+// NewModel builds an untrained SaTE model.
+func NewModel(cfg ModelConfig) *Model { return core.NewModel(cfg) }
+
+// DefaultModelConfig returns CPU-scale SaTE hyperparameters.
+func DefaultModelConfig() ModelConfig { return core.DefaultConfig() }
+
+// TrainOptions controls Train.
+type TrainOptions struct {
+	// Samples is the number of labelled (topology, traffic) instants to
+	// train on; they are labelled with the reference LP solver.
+	Samples int
+	// Epochs of Adam over the samples.
+	Epochs int
+	// Seed for model initialisation.
+	Seed int64
+	// Config overrides the model hyperparameters (zero value = defaults).
+	Config ModelConfig
+}
+
+// Train generates labelled samples from the scenario and fits a SaTE model.
+func Train(s *Scenario, opt TrainOptions) (*Model, error) {
+	if opt.Samples == 0 {
+		opt.Samples = 8
+	}
+	if opt.Epochs == 0 {
+		opt.Epochs = 20
+	}
+	cfg := opt.Config
+	if cfg.EmbedDim == 0 {
+		cfg = core.DefaultConfig()
+	}
+	cfg.Seed = opt.Seed
+	m := core.NewModel(cfg)
+	solver := baselines.LPAuto{}
+	var samples []*core.Sample
+	for i := 0; i < opt.Samples; i++ {
+		// Spaced instants past the arrival process's initial ramp; with
+		// ScenarioConfig.FlowDurationScale at its default the load still
+		// grows for a long time — scale durations down (e.g. 0.05) to train
+		// and evaluate at steady state.
+		p, _, _, err := s.ProblemAt(120 + float64(i)*97)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Flows) == 0 {
+			continue
+		}
+		ref, err := solver.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, core.NewSample(p, ref))
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = opt.Epochs
+	if _, err := core.Train(m, samples, tc); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Solvers gives access to the paper's baselines as ready-to-use allocators.
+func Solvers() map[string]Allocator {
+	return map[string]Allocator{
+		"lp":          baselines.LPAuto{},
+		"gk":          baselines.GK{Epsilon: 0.05},
+		"pop":         &baselines.POP{K: 4},
+		"ecmp-wf":     baselines.ECMPWF{},
+		"maxmin-fair": baselines.MaxMinFair{},
+	}
+}
+
+// SaveModel writes a trained model to a file; LoadModel restores it.
+func SaveModel(m *Model, path string) error { return m.SaveFile(path) }
+
+// LoadModel restores a model saved by SaveModel.
+func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
+
+// RunExperiment executes a registered paper experiment (e.g. "fig8a") and
+// returns its report. Use ExperimentIDs for the catalogue.
+func RunExperiment(id string, full bool, seed int64) (*Report, error) {
+	d, ok := experiments.Registry[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return d(experiments.Options{Full: full, Seed: seed})
+}
+
+// ExperimentIDs lists the registered experiment IDs.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// UnknownExperimentError reports an unregistered experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "sate: unknown experiment " + e.ID
+}
+
+// Benchmark measures the solve latency of an allocator on a problem.
+func Benchmark(al Allocator, p *Problem) (time.Duration, error) {
+	start := time.Now()
+	_, err := al.Solve(p)
+	return time.Since(start), err
+}

@@ -1,0 +1,108 @@
+package sate
+
+import (
+	"testing"
+)
+
+func testScenario(seed int64) *Scenario {
+	return NewScenario(Iridium(), ScenarioConfig{
+		Mode:              CrossShellLasers,
+		Intensity:         8,
+		Seed:              seed,
+		MinElevDeg:        10,
+		FlowDurationScale: 0.05, // steady-state load within the test horizon
+		// keep the ground segment small for unit tests
+		Users: 3000, UserClusters: 80, Gateways: 10, Relays: 5,
+	})
+}
+
+func TestFacadeTrainAndSolve(t *testing.T) {
+	scen := testScenario(1)
+	model, err := Train(scen, TrainOptions{Samples: 2, Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, m, err := scen.ProblemAt(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NonZeroPairs() == 0 {
+		t.Skip("no traffic at evaluation instant")
+	}
+	a, err := model.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Check(a); v.Any(1e-6) {
+		t.Fatalf("facade-trained model infeasible: %+v", v)
+	}
+	d, err := Benchmark(model, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("benchmark did not measure")
+	}
+}
+
+func TestFacadeSolvers(t *testing.T) {
+	scen := testScenario(2)
+	p, _, _, err := scen.ProblemAt(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) == 0 {
+		t.Skip("no flows")
+	}
+	for name, solver := range Solvers() {
+		a, err := solver.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v := p.Check(a); v.Any(1e-6) {
+			t.Errorf("%s produced infeasible allocation: %+v", name, v)
+		}
+	}
+}
+
+func TestFacadeConstellations(t *testing.T) {
+	if Starlink().Size() != 4236 {
+		t.Error("Starlink size")
+	}
+	if Iridium().Size() != 66 {
+		t.Error("Iridium size")
+	}
+	if MidSize1().Size() != 396 || MidSize2().Size() != 1584 {
+		t.Error("mid-size constellations")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", false, 1); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	var ue *UnknownExperimentError
+	if _, err := RunExperiment("nope", false, 1); err != nil {
+		if e, ok := err.(*UnknownExperimentError); !ok || e.ID != "nope" {
+			t.Errorf("wrong error type: %v", err)
+		}
+		_ = ue
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	rep, err := RunExperiment("fig13", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig13" || len(rep.Rows) == 0 {
+		t.Errorf("bad report: %+v", rep)
+	}
+}
+
+func TestExperimentIDsNonEmpty(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Errorf("only %d experiments registered", len(ids))
+	}
+}
