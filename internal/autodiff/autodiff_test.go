@@ -229,7 +229,7 @@ func TestAdamLinearRegression(t *testing.T) {
 	X := NewTensor(n, d).Randn(rng, 1)
 	trueW := FromSlice(d, 1, []float64{2, -1, 0.5})
 	Y := NewTensor(n, 1)
-	matmulInto(Y, X, trueW)
+	gemm(Y, X, trueW, false)
 	w := Param(NewTensor(d, 1).Randn(rng, 0.1))
 	opt := NewAdam(0.05, w)
 	for i := 0; i < 800; i++ {

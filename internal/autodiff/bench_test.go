@@ -1,0 +1,66 @@
+package autodiff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sate/internal/par"
+)
+
+// benchMatMul measures one forward+backward MatMul round at a GAT-sized
+// shape under a fixed worker count.
+func benchMatMul(b *testing.B, workers int) {
+	restore := par.SetWorkers(workers)
+	defer restore()
+	rng := rand.New(rand.NewSource(1))
+	av := NewTensor(2048, 64).Randn(rng, 1)
+	bv := NewTensor(64, 64).Randn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := NewTape()
+		a := tp.Const(av)
+		w := tp.Const(bv)
+		y := tp.MatMul(a, w)
+		tp.Backward(tp.MeanAll(y))
+	}
+}
+
+// BenchmarkParMatMul reports serial-vs-parallel ns/op for the matmul kernel
+// (forward + backward). The Serial variant pins one worker; Parallel uses
+// the full GOMAXPROCS/SATE_WORKERS budget.
+func BenchmarkParMatMulSerial(b *testing.B)   { benchMatMul(b, 1) }
+func BenchmarkParMatMulParallel(b *testing.B) { benchMatMul(b, 0) }
+
+// BenchmarkParMatMulWorkers sweeps explicit worker counts (useful on
+// multi-core hosts: ns/op should drop roughly linearly until the memory bus
+// saturates).
+func BenchmarkParMatMulWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { benchMatMul(b, w) })
+	}
+}
+
+func benchSegmentSoftmax(b *testing.B, workers int) {
+	restore := par.SetWorkers(workers)
+	defer restore()
+	n, nSeg := 20000, 2000
+	rng := rand.New(rand.NewSource(2))
+	seg := make([]int, n)
+	for i := range seg {
+		seg[i] = rng.Intn(nSeg)
+	}
+	xv := NewTensor(n, 1).Randn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := NewTape()
+		x := tp.Const(xv)
+		y := tp.SegmentSoftmax(x, seg, nSeg)
+		tp.Backward(tp.MeanAll(y))
+	}
+}
+
+func BenchmarkParSegmentSoftmaxSerial(b *testing.B)   { benchSegmentSoftmax(b, 1) }
+func BenchmarkParSegmentSoftmaxParallel(b *testing.B) { benchSegmentSoftmax(b, 0) }

@@ -1,0 +1,161 @@
+package autodiff
+
+import "sate/internal/par"
+
+// This file holds the dense matrix kernels shared by the MatMul/MatMulT
+// forward and backward passes. All three are row-parallel over the output:
+// each par chunk owns a disjoint row range of out, so there is no shared
+// write state and no gradient merge — results are bitwise identical to the
+// serial loops for every worker count (see the package par contract).
+//
+// The accumulate flag selects between out = product (forward) and
+// out += product (backward gradient accumulation). In accumulate mode each
+// output row's contribution is summed into a zeroed scratch row first and
+// added to out in one pass, preserving the exact floating-point order of
+// the original compute-s-then-add backward loops.
+
+// kernelFlopTarget is the minimum number of multiply-adds a chunk should
+// carry so goroutine dispatch stays negligible.
+const kernelFlopTarget = 1 << 15
+
+// segGrainMin is the minimum rows/segments per chunk for the cheap
+// per-row ops (softmax, scatter): small enough to spread GAT-sized inputs
+// across cores, large enough to amortise dispatch.
+const segGrainMin = 64
+
+// rowGrain picks the par grain for a kernel over rows where each row costs
+// about rowCost multiply-adds.
+func rowGrain(rows, rowCost int) int {
+	min := 1
+	if rowCost > 0 {
+		min = (kernelFlopTarget + rowCost - 1) / rowCost
+	}
+	return par.Grain(rows, min)
+}
+
+// gemm computes out (+)= a @ b (a: m x k, b: k x n, out: m x n). When
+// accumulate is false the caller must pass a zero-initialised out (all
+// callers hand it a fresh tensor); rows are accumulated in place.
+func gemm(out, a, b *Tensor, accumulate bool) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	par.For(m, rowGrain(m, k*n), func(lo, hi int) {
+		var acc []float64
+		if accumulate {
+			acc = make([]float64, n)
+		}
+		for i := lo; i < hi; i++ {
+			ra := a.Data[i*k : (i+1)*k]
+			ro := out.Data[i*n : (i+1)*n]
+			dst := ro
+			if accumulate {
+				for j := range acc {
+					acc[j] = 0
+				}
+				dst = acc
+			}
+			for p := 0; p < k; p++ {
+				av := ra[p]
+				if av == 0 && !accumulate {
+					// Skip-zero only on the forward path (sparse inputs are
+					// common there); the backward path keeps every term so
+					// non-finite gradients propagate exactly as the direct
+					// dot-product form would.
+					continue
+				}
+				rb := b.Data[p*n : (p+1)*n]
+				for j := range dst {
+					dst[j] += av * rb[j]
+				}
+			}
+			if accumulate {
+				for j := range ro {
+					ro[j] += acc[j]
+				}
+			}
+		}
+	})
+}
+
+// gemmBT computes out (+)= a @ b^T (a: m x k, b: n x k, out: m x n) without
+// materialising the transpose: entry (i, j) is the dot product of row i of a
+// and row j of b, both contiguous.
+func gemmBT(out, a, b *Tensor, accumulate bool) {
+	m, k, n := a.Rows, a.Cols, b.Rows
+	par.For(m, rowGrain(m, k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ra := a.Data[i*k : (i+1)*k]
+			ro := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				rb := b.Data[j*k : (j+1)*k]
+				var s float64
+				for p := 0; p < k; p++ {
+					s += ra[p] * rb[p]
+				}
+				if accumulate {
+					ro[j] += s
+				} else {
+					ro[j] = s
+				}
+			}
+		}
+	})
+}
+
+// gemmAT computes out (+)= a^T @ b (a: m x k, b: m x n, out: k x n). Rather
+// than striding down a's columns per output entry, each output row i
+// accumulates a[r][i] * b[r] across r into a scratch row (same term order as
+// the per-entry dot product), then folds into out in one pass.
+func gemmAT(out, a, b *Tensor, accumulate bool) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	par.For(k, rowGrain(k, m*n), func(lo, hi int) {
+		acc := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			for r := 0; r < m; r++ {
+				av := a.Data[r*k+i]
+				rb := b.Data[r*n : (r+1)*n]
+				for j := range acc {
+					acc[j] += av * rb[j]
+				}
+			}
+			ro := out.Data[i*n : (i+1)*n]
+			if accumulate {
+				for j := range ro {
+					ro[j] += acc[j]
+				}
+			} else {
+				copy(ro, acc)
+			}
+		}
+	})
+}
+
+// segmentIndex groups the rows 0..n-1 by segment id, preserving row order
+// within each segment: rows[off[s]:off[s+1]] lists the rows of segment s in
+// increasing order. It lets the segment ops run segment-parallel (each
+// segment owned by one chunk) while keeping the exact accumulation order of
+// the serial row sweep.
+type segmentIndex struct {
+	off  []int
+	rows []int
+}
+
+func buildSegmentIndex(seg []int, nSeg int) segmentIndex {
+	off := make([]int, nSeg+1)
+	for _, s := range seg {
+		off[s+1]++
+	}
+	for s := 0; s < nSeg; s++ {
+		off[s+1] += off[s]
+	}
+	rows := make([]int, len(seg))
+	pos := make([]int, nSeg)
+	copy(pos, off[:nSeg])
+	for i, s := range seg {
+		rows[pos[s]] = i
+		pos[s]++
+	}
+	return segmentIndex{off: off, rows: rows}
+}

@@ -3,6 +3,8 @@ package autodiff
 import (
 	"fmt"
 	"math"
+
+	"sate/internal/par"
 )
 
 func assertSameShape(op string, a, b *Tensor) {
@@ -11,73 +13,41 @@ func assertSameShape(op string, a, b *Tensor) {
 	}
 }
 
-// MatMul returns a @ b.
+// MatMul returns a @ b. Forward and backward are row-parallel (see
+// kernels.go); the backward pass writes disjoint gradient rows, so no merge
+// step is needed.
 func (tp *Tape) MatMul(a, b *Value) *Value {
 	if a.Val.Cols != b.Val.Rows {
 		panic(fmt.Sprintf("autodiff: matmul %s @ %s", a.Val.shape(), b.Val.shape()))
 	}
-	m, k, n := a.Val.Rows, a.Val.Cols, b.Val.Cols
-	out := NewTensor(m, n)
-	matmulInto(out, a.Val, b.Val)
+	out := NewTensor(a.Val.Rows, b.Val.Cols)
+	gemm(out, a.Val, b.Val, false)
 	v := tp.node(out, nil)
 	v.back = func() {
-		// dA += dOut @ B^T ; dB += A^T @ dOut
-		for i := 0; i < m; i++ {
-			for j := 0; j < k; j++ {
-				var s float64
-				for c := 0; c < n; c++ {
-					s += v.Grad.Data[i*n+c] * b.Val.Data[j*n+c]
-				}
-				a.Grad.Data[i*k+j] += s
-			}
-		}
-		for i := 0; i < k; i++ {
-			for j := 0; j < n; j++ {
-				var s float64
-				for r := 0; r < m; r++ {
-					s += a.Val.Data[r*k+i] * v.Grad.Data[r*n+j]
-				}
-				b.Grad.Data[i*n+j] += s
-			}
-		}
+		gemmBT(a.Grad, v.Grad, b.Val, true) // dA += dOut @ B^T
+		gemmAT(b.Grad, a.Val, v.Grad, true) // dB += A^T @ dOut
 	}
 	return v
-}
-
-func matmulInto(out, a, b *Tensor) {
-	m, k, n := a.Rows, a.Cols, b.Cols
-	for i := 0; i < m; i++ {
-		ra := a.Data[i*k : (i+1)*k]
-		ro := out.Data[i*n : (i+1)*n]
-		for j := range ro {
-			ro[j] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := ra[p]
-			if av == 0 {
-				continue
-			}
-			rb := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				ro[j] += av * rb[j]
-			}
-		}
-	}
 }
 
 // Add returns a + b (same shape).
 func (tp *Tape) Add(a, b *Value) *Value {
 	assertSameShape("add", a.Val, b.Val)
-	out := a.Val.Clone()
-	for i, v := range b.Val.Data {
-		out.Data[i] += v
-	}
+	out := NewTensor(a.Val.Rows, a.Val.Cols)
+	par.For(len(out.Data), par.Grain(len(out.Data), kernelFlopTarget), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Val.Data[i] + b.Val.Data[i]
+		}
+	})
 	v := tp.node(out, nil)
 	v.back = func() {
-		for i, g := range v.Grad.Data {
-			a.Grad.Data[i] += g
-			b.Grad.Data[i] += g
-		}
+		par.For(len(v.Grad.Data), par.Grain(len(v.Grad.Data), kernelFlopTarget), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := v.Grad.Data[i]
+				a.Grad.Data[i] += g
+				b.Grad.Data[i] += g
+			}
+		})
 	}
 	return v
 }
@@ -163,24 +133,29 @@ func (tp *Tape) MulColBroadcast(a, s *Value) *Value {
 	}
 	out := NewTensor(a.Val.Rows, a.Val.Cols)
 	cols := a.Val.Cols
-	for r := 0; r < a.Val.Rows; r++ {
-		f := s.Val.Data[r]
-		for c := 0; c < cols; c++ {
-			out.Data[r*cols+c] = a.Val.Data[r*cols+c] * f
+	par.For(a.Val.Rows, rowGrain(a.Val.Rows, cols), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			f := s.Val.Data[r]
+			for c := 0; c < cols; c++ {
+				out.Data[r*cols+c] = a.Val.Data[r*cols+c] * f
+			}
 		}
-	}
+	})
 	v := tp.node(out, nil)
 	v.back = func() {
-		for r := 0; r < a.Val.Rows; r++ {
-			f := s.Val.Data[r]
-			var dot float64
-			for c := 0; c < cols; c++ {
-				g := v.Grad.Data[r*cols+c]
-				a.Grad.Data[r*cols+c] += g * f
-				dot += g * a.Val.Data[r*cols+c]
+		// Row-parallel: chunk r owns row r of a.Grad and entry r of s.Grad.
+		par.For(a.Val.Rows, rowGrain(a.Val.Rows, cols), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				f := s.Val.Data[r]
+				var dot float64
+				for c := 0; c < cols; c++ {
+					g := v.Grad.Data[r*cols+c]
+					a.Grad.Data[r*cols+c] += g * f
+					dot += g * a.Val.Data[r*cols+c]
+				}
+				s.Grad.Data[r] += dot
 			}
-			s.Grad.Data[r] += dot
-		}
+		})
 	}
 	return v
 }
@@ -188,22 +163,27 @@ func (tp *Tape) MulColBroadcast(a, s *Value) *Value {
 // LeakyReLU applies max(x, slope*x) elementwise.
 func (tp *Tape) LeakyReLU(a *Value, slope float64) *Value {
 	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		if x >= 0 {
-			out.Data[i] = x
-		} else {
-			out.Data[i] = slope * x
-		}
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			if a.Val.Data[i] >= 0 {
-				a.Grad.Data[i] += g
+	par.For(len(out.Data), par.Grain(len(out.Data), kernelFlopTarget), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x := a.Val.Data[i]; x >= 0 {
+				out.Data[i] = x
 			} else {
-				a.Grad.Data[i] += g * slope
+				out.Data[i] = slope * x
 			}
 		}
+	})
+	v := tp.node(out, nil)
+	v.back = func() {
+		par.For(len(v.Grad.Data), par.Grain(len(v.Grad.Data), kernelFlopTarget), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := v.Grad.Data[i]
+				if a.Val.Data[i] >= 0 {
+					a.Grad.Data[i] += g
+				} else {
+					a.Grad.Data[i] += g * slope
+				}
+			}
+		})
 	}
 	return v
 }
@@ -286,26 +266,31 @@ func (tp *Tape) Concat(parts ...*Value) *Value {
 		total += p.Val.Cols
 	}
 	out := NewTensor(rows, total)
-	off := 0
-	for _, p := range parts {
-		c := p.Val.Cols
-		for r := 0; r < rows; r++ {
-			copy(out.Data[r*total+off:r*total+off+c], p.Val.Data[r*c:(r+1)*c])
+	// Row-parallel: each chunk copies whole output rows, all parts at once.
+	par.For(rows, rowGrain(rows, total), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			off := 0
+			for _, p := range parts {
+				c := p.Val.Cols
+				copy(out.Data[r*total+off:r*total+off+c], p.Val.Data[r*c:(r+1)*c])
+				off += c
+			}
 		}
-		off += c
-	}
+	})
 	v := tp.node(out, nil)
 	v.back = func() {
-		off := 0
-		for _, p := range parts {
-			c := p.Val.Cols
-			for r := 0; r < rows; r++ {
-				for j := 0; j < c; j++ {
-					p.Grad.Data[r*c+j] += v.Grad.Data[r*total+off+j]
+		par.For(rows, rowGrain(rows, total), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				off := 0
+				for _, p := range parts {
+					c := p.Val.Cols
+					for j := 0; j < c; j++ {
+						p.Grad.Data[r*c+j] += v.Grad.Data[r*total+off+j]
+					}
+					off += c
 				}
 			}
-			off += c
-		}
+		})
 	}
 	return v
 }
@@ -314,36 +299,83 @@ func (tp *Tape) Concat(parts ...*Value) *Value {
 func (tp *Tape) Gather(a *Value, idx []int) *Value {
 	cols := a.Val.Cols
 	out := NewTensor(len(idx), cols)
-	for i, r := range idx {
-		copy(out.Data[i*cols:(i+1)*cols], a.Val.Data[r*cols:(r+1)*cols])
-	}
+	par.For(len(idx), rowGrain(len(idx), cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := idx[i]
+			copy(out.Data[i*cols:(i+1)*cols], a.Val.Data[r*cols:(r+1)*cols])
+		}
+	})
 	v := tp.node(out, nil)
 	v.back = func() {
-		for i, r := range idx {
-			for j := 0; j < cols; j++ {
-				a.Grad.Data[r*cols+j] += v.Grad.Data[i*cols+j]
+		// idx may repeat rows, so the parallel backward scatter groups
+		// gather positions by source row: chunk r owns row r of a.Grad and
+		// folds its positions in increasing i — the serial sweep's order.
+		aRows := a.Val.Rows
+		if grain := par.Grain(aRows, segGrainMin); par.NumChunks(aRows, grain) <= 1 {
+			for i, r := range idx {
+				for j := 0; j < cols; j++ {
+					a.Grad.Data[r*cols+j] += v.Grad.Data[i*cols+j]
+				}
 			}
+		} else {
+			sidx := buildSegmentIndex(idx, aRows)
+			par.For(aRows, grain, func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					ga := a.Grad.Data[r*cols : (r+1)*cols]
+					for _, i := range sidx.rows[sidx.off[r]:sidx.off[r+1]] {
+						gv := v.Grad.Data[i*cols : (i+1)*cols]
+						for j := range ga {
+							ga[j] += gv[j]
+						}
+					}
+				}
+			})
 		}
 	}
 	return v
 }
 
 // ScatterAddRows sums rows of a into outRows buckets: out[idx[i]] += a[i].
+// The forward pass is parallel over output rows — each destination row is
+// owned by one chunk and gathers its source rows in increasing order, the
+// same accumulation order as the serial sweep. The backward pass is parallel
+// over the (disjoint) rows of a.Grad.
 func (tp *Tape) ScatterAddRows(a *Value, idx []int, outRows int) *Value {
 	cols := a.Val.Cols
 	out := NewTensor(outRows, cols)
-	for i, r := range idx {
-		for j := 0; j < cols; j++ {
-			out.Data[r*cols+j] += a.Val.Data[i*cols+j]
+	if grain := par.Grain(outRows, segGrainMin); par.NumChunks(outRows, grain) <= 1 {
+		// One chunk: the linear source sweep beats the index indirection.
+		for i, r := range idx {
+			for j := 0; j < cols; j++ {
+				out.Data[r*cols+j] += a.Val.Data[i*cols+j]
+			}
 		}
+	} else {
+		sidx := buildSegmentIndex(idx, outRows)
+		par.For(outRows, grain, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				ro := out.Data[r*cols : (r+1)*cols]
+				for _, i := range sidx.rows[sidx.off[r]:sidx.off[r+1]] {
+					ra := a.Val.Data[i*cols : (i+1)*cols]
+					for j := range ro {
+						ro[j] += ra[j]
+					}
+				}
+			}
+		})
 	}
 	v := tp.node(out, nil)
 	v.back = func() {
-		for i, r := range idx {
-			for j := 0; j < cols; j++ {
-				a.Grad.Data[i*cols+j] += v.Grad.Data[r*cols+j]
+		par.For(len(idx), par.Grain(len(idx), segGrainMin), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := idx[i]
+				ga := a.Grad.Data[i*cols : (i+1)*cols]
+				gv := v.Grad.Data[r*cols : (r+1)*cols]
+				for j := range ga {
+					ga[j] += gv[j]
+				}
 			}
-		}
+		})
 	}
 	return v
 }
@@ -356,32 +388,76 @@ func (tp *Tape) SegmentSoftmax(a *Value, seg []int, nSeg int) *Value {
 	}
 	n := a.Val.Rows
 	out := NewTensor(n, 1)
-	maxv := make([]float64, nSeg)
-	for i := range maxv {
-		maxv[i] = math.Inf(-1)
-	}
-	for i := 0; i < n; i++ {
-		if a.Val.Data[i] > maxv[seg[i]] {
-			maxv[seg[i]] = a.Val.Data[i]
+	// Segment-parallel: every segment's rows are owned by exactly one chunk
+	// and visited in increasing row order, so the max/sum/normalise pass
+	// performs the same floating-point operations as the serial row sweep —
+	// bitwise identical for every worker count. When one chunk would run
+	// anyway, the cache-friendly linear sweep skips the index build.
+	if grain := par.Grain(nSeg, segGrainMin); par.NumChunks(nSeg, grain) <= 1 {
+		maxv := make([]float64, nSeg)
+		for i := range maxv {
+			maxv[i] = math.Inf(-1)
 		}
-	}
-	sum := make([]float64, nSeg)
-	for i := 0; i < n; i++ {
-		out.Data[i] = math.Exp(a.Val.Data[i] - maxv[seg[i]])
-		sum[seg[i]] += out.Data[i]
-	}
-	for i := 0; i < n; i++ {
-		out.Data[i] /= sum[seg[i]]
+		for i := 0; i < n; i++ {
+			if a.Val.Data[i] > maxv[seg[i]] {
+				maxv[seg[i]] = a.Val.Data[i]
+			}
+		}
+		sum := make([]float64, nSeg)
+		for i := 0; i < n; i++ {
+			out.Data[i] = math.Exp(a.Val.Data[i] - maxv[seg[i]])
+			sum[seg[i]] += out.Data[i]
+		}
+		for i := 0; i < n; i++ {
+			out.Data[i] /= sum[seg[i]]
+		}
+	} else {
+		sidx := buildSegmentIndex(seg, nSeg)
+		par.For(nSeg, grain, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				rows := sidx.rows[sidx.off[s]:sidx.off[s+1]]
+				mx := math.Inf(-1)
+				for _, i := range rows {
+					if a.Val.Data[i] > mx {
+						mx = a.Val.Data[i]
+					}
+				}
+				var sum float64
+				for _, i := range rows {
+					out.Data[i] = math.Exp(a.Val.Data[i] - mx)
+					sum += out.Data[i]
+				}
+				for _, i := range rows {
+					out.Data[i] /= sum
+				}
+			}
+		})
 	}
 	v := tp.node(out, nil)
 	v.back = func() {
 		// d a_i = y_i * (g_i - sum_j in seg(i) g_j y_j)
-		dot := make([]float64, nSeg)
-		for i := 0; i < n; i++ {
-			dot[seg[i]] += v.Grad.Data[i] * out.Data[i]
-		}
-		for i := 0; i < n; i++ {
-			a.Grad.Data[i] += out.Data[i] * (v.Grad.Data[i] - dot[seg[i]])
+		if grain := par.Grain(nSeg, segGrainMin); par.NumChunks(nSeg, grain) <= 1 {
+			dot := make([]float64, nSeg)
+			for i := 0; i < n; i++ {
+				dot[seg[i]] += v.Grad.Data[i] * out.Data[i]
+			}
+			for i := 0; i < n; i++ {
+				a.Grad.Data[i] += out.Data[i] * (v.Grad.Data[i] - dot[seg[i]])
+			}
+		} else {
+			sidx := buildSegmentIndex(seg, nSeg)
+			par.For(nSeg, grain, func(lo, hi int) {
+				for s := lo; s < hi; s++ {
+					rows := sidx.rows[sidx.off[s]:sidx.off[s+1]]
+					var dot float64
+					for _, i := range rows {
+						dot += v.Grad.Data[i] * out.Data[i]
+					}
+					for _, i := range rows {
+						a.Grad.Data[i] += out.Data[i] * (v.Grad.Data[i] - dot)
+					}
+				}
+			})
 		}
 	}
 	return v
@@ -438,84 +514,63 @@ func (tp *Tape) MSE(a, b *Value) *Value {
 	return tp.MeanAll(tp.Mul(d, d))
 }
 
-// MatMulT returns a @ b^T (a: m x k, b: n x k -> m x n). Avoids materialising
-// the transpose.
+// MatMulT returns a @ b^T (a: m x k, b: n x k -> m x n). It routes through
+// the same parallel kernels as MatMul: gemmBT forward (no transpose is
+// materialised), gemm/gemmAT backward.
 func (tp *Tape) MatMulT(a, b *Value) *Value {
 	if a.Val.Cols != b.Val.Cols {
 		panic(fmt.Sprintf("autodiff: matmulT %s @ %sT", a.Val.shape(), b.Val.shape()))
 	}
-	m, k, n := a.Val.Rows, a.Val.Cols, b.Val.Rows
-	out := NewTensor(m, n)
-	for i := 0; i < m; i++ {
-		ra := a.Val.Data[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
-			rb := b.Val.Data[j*k : (j+1)*k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += ra[p] * rb[p]
-			}
-			out.Data[i*n+j] = s
-		}
-	}
+	out := NewTensor(a.Val.Rows, b.Val.Rows)
+	gemmBT(out, a.Val, b.Val, false)
 	v := tp.node(out, nil)
 	v.back = func() {
-		// dA += dOut @ B ; dB += dOut^T @ A
-		for i := 0; i < m; i++ {
-			for p := 0; p < k; p++ {
-				var s float64
-				for j := 0; j < n; j++ {
-					s += v.Grad.Data[i*n+j] * b.Val.Data[j*k+p]
-				}
-				a.Grad.Data[i*k+p] += s
-			}
-		}
-		for j := 0; j < n; j++ {
-			for p := 0; p < k; p++ {
-				var s float64
-				for i := 0; i < m; i++ {
-					s += v.Grad.Data[i*n+j] * a.Val.Data[i*k+p]
-				}
-				b.Grad.Data[j*k+p] += s
-			}
-		}
+		gemm(a.Grad, v.Grad, b.Val, true)   // dA += dOut @ B
+		gemmAT(b.Grad, v.Grad, a.Val, true) // dB += dOut^T @ A
 	}
 	return v
 }
 
-// RowSoftmax applies a numerically stable softmax along each row.
+// RowSoftmax applies a numerically stable softmax along each row. Both
+// passes are row-parallel: rows are independent, so chunked execution is
+// bitwise identical to the serial loop.
 func (tp *Tape) RowSoftmax(a *Value) *Value {
 	rows, cols := a.Val.Rows, a.Val.Cols
 	out := NewTensor(rows, cols)
-	for r := 0; r < rows; r++ {
-		ra := a.Val.Data[r*cols : (r+1)*cols]
-		ro := out.Data[r*cols : (r+1)*cols]
-		mx := math.Inf(-1)
-		for _, x := range ra {
-			if x > mx {
-				mx = x
+	par.For(rows, par.Grain(rows, segGrainMin), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ra := a.Val.Data[r*cols : (r+1)*cols]
+			ro := out.Data[r*cols : (r+1)*cols]
+			mx := math.Inf(-1)
+			for _, x := range ra {
+				if x > mx {
+					mx = x
+				}
+			}
+			var sum float64
+			for i, x := range ra {
+				ro[i] = math.Exp(x - mx)
+				sum += ro[i]
+			}
+			for i := range ro {
+				ro[i] /= sum
 			}
 		}
-		var sum float64
-		for i, x := range ra {
-			ro[i] = math.Exp(x - mx)
-			sum += ro[i]
-		}
-		for i := range ro {
-			ro[i] /= sum
-		}
-	}
+	})
 	v := tp.node(out, nil)
 	v.back = func() {
-		for r := 0; r < rows; r++ {
-			ro := out.Data[r*cols : (r+1)*cols]
-			var dot float64
-			for i := 0; i < cols; i++ {
-				dot += v.Grad.Data[r*cols+i] * ro[i]
+		par.For(rows, par.Grain(rows, segGrainMin), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				ro := out.Data[r*cols : (r+1)*cols]
+				var dot float64
+				for i := 0; i < cols; i++ {
+					dot += v.Grad.Data[r*cols+i] * ro[i]
+				}
+				for i := 0; i < cols; i++ {
+					a.Grad.Data[r*cols+i] += ro[i] * (v.Grad.Data[r*cols+i] - dot)
+				}
 			}
-			for i := 0; i < cols; i++ {
-				a.Grad.Data[r*cols+i] += ro[i] * (v.Grad.Data[r*cols+i] - dot)
-			}
-		}
+		})
 	}
 	return v
 }

@@ -1,0 +1,128 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+
+	"sate/internal/par"
+)
+
+// runOp builds a small graph with f on a fresh tape, backprops from the
+// scalar SumAll of the result, and returns the op output plus the gradients
+// of every input. Inputs are recreated identically per call from the seed.
+func runOp(t *testing.T, seed int64, f func(tp *Tape, in []*Value) *Value, shapes ...[2]int) (out []float64, grads [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tp := NewTape()
+	in := make([]*Value, len(shapes))
+	for i, sh := range shapes {
+		in[i] = tp.Const(NewTensor(sh[0], sh[1]).Randn(rng, 1))
+	}
+	y := f(tp, in)
+	tp.Backward(tp.SumAll(tp.Mul(y, y)))
+	out = append([]float64(nil), y.Val.Data...)
+	for _, v := range in {
+		grads = append(grads, append([]float64(nil), v.Grad.Data...))
+	}
+	return out, grads
+}
+
+// checkParallelMatchesSerial runs the op with 1 worker and with several
+// workers and requires bitwise-identical outputs and gradients — the
+// determinism contract of the parallel kernels.
+func checkParallelMatchesSerial(t *testing.T, name string, f func(tp *Tape, in []*Value) *Value, shapes ...[2]int) {
+	t.Helper()
+	restore := par.SetWorkers(1)
+	serialOut, serialGrads := runOp(t, 7, f, shapes...)
+	restore()
+	for _, w := range []int{2, 4, 8} {
+		restore := par.SetWorkers(w)
+		out, grads := runOp(t, 7, f, shapes...)
+		restore()
+		for i := range out {
+			if out[i] != serialOut[i] {
+				t.Fatalf("%s workers=%d: output[%d] = %v, serial %v", name, w, i, out[i], serialOut[i])
+			}
+		}
+		for gi := range grads {
+			for i := range grads[gi] {
+				if grads[gi][i] != serialGrads[gi][i] {
+					t.Fatalf("%s workers=%d: grad[%d][%d] = %v, serial %v", name, w, gi, i, grads[gi][i], serialGrads[gi][i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	checkParallelMatchesSerial(t, "MatMul", func(tp *Tape, in []*Value) *Value {
+		return tp.MatMul(in[0], in[1])
+	}, [2]int{130, 37}, [2]int{37, 41})
+}
+
+func TestParallelMatMulTMatchesSerial(t *testing.T) {
+	checkParallelMatchesSerial(t, "MatMulT", func(tp *Tape, in []*Value) *Value {
+		return tp.MatMulT(in[0], in[1])
+	}, [2]int{83, 29}, [2]int{61, 29})
+}
+
+func TestParallelSegmentSoftmaxMatchesSerial(t *testing.T) {
+	n, nSeg := 500, 37
+	seg := make([]int, n)
+	segRng := rand.New(rand.NewSource(11))
+	for i := range seg {
+		seg[i] = segRng.Intn(nSeg)
+	}
+	checkParallelMatchesSerial(t, "SegmentSoftmax", func(tp *Tape, in []*Value) *Value {
+		return tp.SegmentSoftmax(in[0], seg, nSeg)
+	}, [2]int{n, 1})
+}
+
+func TestParallelScatterAddRowsMatchesSerial(t *testing.T) {
+	n, outRows := 400, 53
+	idx := make([]int, n)
+	idxRng := rand.New(rand.NewSource(13))
+	for i := range idx {
+		idx[i] = idxRng.Intn(outRows)
+	}
+	checkParallelMatchesSerial(t, "ScatterAddRows", func(tp *Tape, in []*Value) *Value {
+		return tp.ScatterAddRows(in[0], idx, outRows)
+	}, [2]int{n, 9})
+}
+
+func TestParallelRowSoftmaxMatchesSerial(t *testing.T) {
+	checkParallelMatchesSerial(t, "RowSoftmax", func(tp *Tape, in []*Value) *Value {
+		return tp.RowSoftmax(in[0])
+	}, [2]int{211, 17})
+}
+
+// TestParallelChainMatchesSerial composes several parallel ops — the shape a
+// GAT layer produces — and checks end-to-end bitwise equality, including
+// gradient accumulation into a value reused by two ops.
+func TestParallelChainMatchesSerial(t *testing.T) {
+	checkParallelMatchesSerial(t, "chain", func(tp *Tape, in []*Value) *Value {
+		h := tp.MatMul(in[0], in[1]) // 120 x 40
+		s := tp.MatMulT(h, in[2])    // 120 x 30
+		a := tp.RowSoftmax(s)        // 120 x 30
+		return tp.MatMul(a, in[3])   // reuse: in[3] also feeds the residual
+	}, [2]int{120, 24}, [2]int{24, 40}, [2]int{30, 40}, [2]int{30, 12})
+}
+
+// TestSegmentIndexGroups sanity-checks the CSR grouping used by the segment
+// ops: rows grouped by segment, increasing within each segment.
+func TestSegmentIndexGroups(t *testing.T) {
+	seg := []int{2, 0, 1, 0, 2, 2}
+	idx := buildSegmentIndex(seg, 3)
+	want := [][]int{{1, 3}, {2}, {0, 4, 5}}
+	for s, rows := range want {
+		got := idx.rows[idx.off[s]:idx.off[s+1]]
+		if len(got) != len(rows) {
+			t.Fatalf("segment %d: got %v want %v", s, got, rows)
+		}
+		for i := range rows {
+			if got[i] != rows[i] {
+				t.Fatalf("segment %d: got %v want %v", s, got, rows)
+			}
+		}
+	}
+}

@@ -148,9 +148,9 @@ func AppCIncrementalPaths(opt Options) (*Report, error) {
 		if a == b {
 			continue
 		}
-		db.Paths(a, b)
 		pairs = append(pairs, paths.Pair{Src: a, Dst: b})
 	}
+	db.Precompute(pairs) // parallel fan-out across the worker pool
 
 	var totalRecomputed int
 	var totalUpdate time.Duration

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sate/internal/baselines"
+	"sate/internal/par"
 	"sate/internal/sim"
 	"sate/internal/topology"
 )
@@ -44,62 +45,89 @@ func Fig10abOnline(opt Options) (*Report, error) {
 	if opt.Full {
 		horizon = 120
 	}
+	// Every (mode, intensity) cell is independent — its own seeded training
+	// scenario, model, and evaluation runs — so the grid fans out across the
+	// worker pool. Rows are collected per cell and appended in grid order, so
+	// the report is identical to the serial sweep.
+	type cellSpec struct {
+		mode      topology.CrossShellMode
+		intensity float64
+	}
+	var cells []cellSpec
 	for _, mode := range []topology.CrossShellMode{topology.CrossShellLasers, topology.CrossShellGroundRelays} {
 		for _, intensity := range onlineIntensities(opt) {
-			// Train SaTE on this scenario class (separate seed for training).
-			trainScen := newScenario(sc, mode, intensity, opt.Seed+61)
-			model, _, err := trainSaTE(trainScen, 3, 30, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			run := func(al sim.Allocator, interval float64) string {
-				s := newScenario(sc, mode, intensity, opt.Seed+62) // unseen traffic
-				res, err := s.RunOnline(al, sim.OnlineConfig{
-					HorizonSec:  horizon,
-					StartSec:    ciEvalStart, // steady-state window
-					IntervalSec: interval,
-					StepSec:     2,
-				})
-				if err != nil {
-					return "err"
-				}
-				return pct(res.SatisfiedMean)
-			}
-			// Recomputation intervals follow the paper's protocol (Sec. 5.4):
-			// each method recomputes at its Starlink-scale average latency —
-			// SaTE every second (17 ms << 1 s), Gurobi 47 s, POP 25 s,
-			// ECMP-WF 54 s. Fixed intervals keep the CI-scale run faithful to
-			// the mega-constellation deployment the paper models.
-			sateCell := run(model, 2)
-			lpCell := run(baselines.LPAuto{}, 47)
-			popCell := run(&baselines.POP{K: 4, Seed: opt.Seed}, 25)
-			ecmpCell := run(baselines.ECMPWF{}, 54)
-			// Backpressure: distributed, no central computation; evaluated by
-			// queue simulation on sampled instants.
-			bpScen := newScenario(sc, mode, intensity, opt.Seed+62)
-			var bpSum float64
-			bpN := 0
-			for i := 0; i < 3; i++ {
-				p, _, _, err := bpScen.ProblemAt(ciEvalStart + float64(i*15))
-				if err != nil {
-					return nil, err
-				}
-				if len(p.Flows) == 0 {
-					continue
-				}
-				bpSum += (baselines.Backpressure{SlotSec: 0.1, HorizonSec: 10}).Evaluate(p)
-				bpN++
-			}
-			bpCell := "n/a"
-			if bpN > 0 {
-				bpCell = pct(bpSum / float64(bpN))
-			}
-			r.AddRow(mode.String(), fmt.Sprintf("%.0f", intensity),
-				sateCell, lpCell, popCell, ecmpCell, bpCell)
+			cells = append(cells, cellSpec{mode, intensity})
 		}
 	}
+	rows := make([][]string, len(cells))
+	errs := make([]error, len(cells))
+	par.For(len(cells), 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			rows[ci], errs[ci] = fig10abCell(opt, sc, horizon, cells[ci].mode, cells[ci].intensity)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.Rows = append(r.Rows, rows...)
 	r.Note("paper: SaTE best online at every intensity; +23.5%% (lasers) / +46.6%% (relays) vs best baseline; satisfied demand falls as load rises")
 	return r, nil
+}
+
+// fig10abCell trains and evaluates one (mode, intensity) cell of Fig. 10 a/b.
+func fig10abCell(opt Options, sc scaleSpec, horizon int, mode topology.CrossShellMode, intensity float64) ([]string, error) {
+	// Train SaTE on this scenario class (separate seed for training).
+	trainScen := newScenario(sc, mode, intensity, opt.Seed+61)
+	model, _, err := trainSaTE(trainScen, 3, 30, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	run := func(al sim.Allocator, interval float64) string {
+		s := newScenario(sc, mode, intensity, opt.Seed+62) // unseen traffic
+		res, err := s.RunOnline(al, sim.OnlineConfig{
+			HorizonSec:  horizon,
+			StartSec:    ciEvalStart, // steady-state window
+			IntervalSec: interval,
+			StepSec:     2,
+		})
+		if err != nil {
+			return "err"
+		}
+		return pct(res.SatisfiedMean)
+	}
+	// Recomputation intervals follow the paper's protocol (Sec. 5.4):
+	// each method recomputes at its Starlink-scale average latency —
+	// SaTE every second (17 ms << 1 s), Gurobi 47 s, POP 25 s,
+	// ECMP-WF 54 s. Fixed intervals keep the CI-scale run faithful to
+	// the mega-constellation deployment the paper models.
+	sateCell := run(model, 2)
+	lpCell := run(baselines.LPAuto{}, 47)
+	popCell := run(&baselines.POP{K: 4, Seed: opt.Seed}, 25)
+	ecmpCell := run(baselines.ECMPWF{}, 54)
+	// Backpressure: distributed, no central computation; evaluated by
+	// queue simulation on sampled instants.
+	bpScen := newScenario(sc, mode, intensity, opt.Seed+62)
+	var bpSum float64
+	bpN := 0
+	for i := 0; i < 3; i++ {
+		p, _, _, err := bpScen.ProblemAt(ciEvalStart + float64(i*15))
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Flows) == 0 {
+			continue
+		}
+		bpSum += (baselines.Backpressure{SlotSec: 0.1, HorizonSec: 10}).Evaluate(p)
+		bpN++
+	}
+	bpCell := "n/a"
+	if bpN > 0 {
+		bpCell = pct(bpSum / float64(bpN))
+	}
+	return []string{mode.String(), fmt.Sprintf("%.0f", intensity),
+		sateCell, lpCell, popCell, ecmpCell, bpCell}, nil
 }
 
 // Fig10cTealComparison reproduces Fig. 10 (c): SaTE vs Teal online at a scale
@@ -213,26 +241,41 @@ func Fig14Offline(opt Options) (*Report, error) {
 		Header: []string{"intensity", "optimal (lp)", "sate", "pop", "ecmp-wf"},
 	}
 	sc := scales(opt)[0]
-	for _, intensity := range onlineIntensities(opt) {
-		trainScen := newScenario(sc, topology.CrossShellLasers, intensity, opt.Seed+91)
-		model, _, err := trainSaTE(trainScen, 3, 30, opt.Seed)
+	// Per-intensity fan-out: each intensity trains and evaluates
+	// independently; rows are appended in sweep order.
+	intensities := onlineIntensities(opt)
+	rows := make([][]string, len(intensities))
+	errs := make([]error, len(intensities))
+	par.For(len(intensities), 1, func(lo, hi int) {
+		for ii := lo; ii < hi; ii++ {
+			intensity := intensities[ii]
+			trainScen := newScenario(sc, topology.CrossShellLasers, intensity, opt.Seed+91)
+			model, _, err := trainSaTE(trainScen, 3, 30, opt.Seed)
+			if err != nil {
+				errs[ii] = err
+				continue
+			}
+			eval := func(al sim.Allocator) string {
+				s := newScenario(sc, topology.CrossShellLasers, intensity, opt.Seed+92)
+				sat, err := evalSatisfied(s, al, 3, ciEvalStart)
+				if err != nil {
+					return "err"
+				}
+				return pct(sat)
+			}
+			rows[ii] = []string{fmt.Sprintf("%.0f", intensity),
+				eval(baselines.LPAuto{}),
+				eval(model),
+				eval(&baselines.POP{K: 4, Seed: opt.Seed}),
+				eval(baselines.ECMPWF{})}
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		eval := func(al sim.Allocator) string {
-			s := newScenario(sc, topology.CrossShellLasers, intensity, opt.Seed+92)
-			sat, err := evalSatisfied(s, al, 3, ciEvalStart)
-			if err != nil {
-				return "err"
-			}
-			return pct(sat)
-		}
-		r.AddRow(fmt.Sprintf("%.0f", intensity),
-			eval(baselines.LPAuto{}),
-			eval(model),
-			eval(&baselines.POP{K: 4, Seed: opt.Seed}),
-			eval(baselines.ECMPWF{}))
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.Note("paper: offline SaTE is second best, 12.8%% (lasers) / 12.3%% (relays) below the Gurobi upper bound")
 	return r, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sate/internal/constellation"
 	"sate/internal/groundnet"
 	"sate/internal/orbit"
+	"sate/internal/par"
 	"sate/internal/paths"
 	"sate/internal/sim"
 	"sate/internal/topology"
@@ -49,18 +50,31 @@ func Fig4aTHT(opt Options) (*Report, error) {
 		}
 		gen := topology.NewGenerator(cons, cfg)
 		const dt = 0.0125
-		prev := gen.Snapshot(0)
+		// Snapshots are generated in parallel batches (Series fans out across
+		// the worker pool); the THT fold over consecutive snapshots stays
+		// serial. Batching bounds memory at Starlink scale.
+		const batch = 256
+		var prev *topology.Snapshot
 		var holds []float64
-		run := 1
-		for i := 1; i < nSnaps; i++ {
-			s := gen.Snapshot(dt * float64(i))
-			if s.SameTopology(prev) {
-				run++
-			} else {
-				holds = append(holds, float64(run)*dt)
-				run = 1
+		run := 0
+		for start := 0; start < nSnaps; start += batch {
+			n := nSnaps - start
+			if n > batch {
+				n = batch
 			}
-			prev = s
+			for _, s := range gen.Series(dt*float64(start), dt, n) {
+				if prev == nil {
+					prev, run = s, 1
+					continue
+				}
+				if s.SameTopology(prev) {
+					run++
+				} else {
+					holds = append(holds, float64(run)*dt)
+					run = 1
+				}
+				prev = s
+			}
 		}
 		holds = append(holds, float64(run)*dt)
 		res := topology.THTResult{SampleIntervalSec: dt, HoldTimesSec: holds}
@@ -87,15 +101,27 @@ func Fig4bPathObsolescence(opt Options) (*Report, error) {
 	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
 	s0 := gen.Snapshot(0)
 	router := paths.NewGridRouter(cons, s0)
+	// Draw the pair sample serially (the rng sequence fixes it), then fan the
+	// independent k-shortest searches out across the worker pool.
 	rng := rand.New(rand.NewSource(opt.Seed + 3))
-	var configured []paths.Path
+	var pairs []paths.Pair
 	for i := 0; i < nPairs; i++ {
 		a := constellation.SatID(rng.Intn(cons.Size()))
 		b := constellation.SatID(rng.Intn(cons.Size()))
 		if a == b {
 			continue
 		}
-		configured = append(configured, router.KShortest(a, b, 10)...)
+		pairs = append(pairs, paths.Pair{Src: a, Dst: b})
+	}
+	routed := make([][]paths.Path, len(pairs))
+	par.For(len(pairs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			routed[i] = router.KShortest(pairs[i].Src, pairs[i].Dst, 10)
+		}
+	})
+	var configured []paths.Path
+	for _, ps := range routed {
+		configured = append(configured, ps...)
 	}
 	r := &Report{
 		ID:     "fig4b",

@@ -1,0 +1,190 @@
+// Package par is the shared parallel-compute layer: a chunked parallel-for
+// over a process-wide worker budget. The hot kernels of the repo (autodiff
+// matmul/softmax rows, k-shortest-path fan-out across src/dst pairs,
+// per-cell experiment sweeps) are embarrassingly parallel over disjoint
+// output ranges; par.For runs them across cores while keeping results
+// bitwise-deterministic.
+//
+// Determinism contract: For(n, grain, fn) partitions [0, n) into fixed
+// contiguous chunks of size grain. Chunk boundaries depend only on (n,
+// grain), never on the worker count or scheduling, so a kernel whose chunks
+// write disjoint outputs (the only kind used here) produces bitwise
+// identical results for every worker count — including 1, where For degrades
+// to a plain loop with no goroutines. Kernels that need cross-chunk
+// reduction merge per-chunk partials in chunk order (see ForChunks).
+//
+// Worker budget: GOMAXPROCS by default, overridden by the SATE_WORKERS
+// environment variable (useful to pin tests and reproduce training runs),
+// or programmatically by SetWorkers.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride > 0 replaces the default worker budget.
+var workerOverride atomic.Int64
+
+func init() {
+	if s := os.Getenv("SATE_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			workerOverride.Store(int64(n))
+		}
+	}
+}
+
+// Workers returns the current worker budget: SetWorkers override if set,
+// else SATE_WORKERS, else GOMAXPROCS.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker budget (n <= 0 restores the default) and
+// returns a func that restores the previous setting. Intended for tests:
+//
+//	defer par.SetWorkers(1)()
+func SetWorkers(n int) (restore func()) {
+	prev := workerOverride.Load()
+	if n <= 0 {
+		workerOverride.Store(0)
+	} else {
+		workerOverride.Store(int64(n))
+	}
+	return func() { workerOverride.Store(prev) }
+}
+
+// numChunks returns how many grain-sized chunks cover n items.
+func numChunks(n, grain int) int { return (n + grain - 1) / grain }
+
+// For runs fn over [0, n) in contiguous chunks of at most grain items.
+// fn(lo, hi) must only touch state owned by rows [lo, hi); under that
+// contract the result is bitwise identical for every worker count. With one
+// worker (or a single chunk) fn runs inline on the caller's goroutine —
+// no goroutines, no synchronisation, zero overhead over a plain loop.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := numChunks(n, grain)
+	workers := Workers()
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunks is For with the chunk index exposed: fn(chunk, lo, hi) may
+// accumulate into a per-chunk partial (indexed by chunk, allocated via
+// NumChunks) which the caller merges serially in chunk order afterwards.
+// Because the chunk layout is fixed by (n, grain), the partials — and any
+// in-chunk-order merge of them — are deterministic for a fixed grain,
+// independent of worker count and scheduling.
+func ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := numChunks(n, grain)
+	workers := Workers()
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumChunks returns the number of chunks For/ForChunks will use for (n,
+// grain) — the size callers need for per-chunk partial buffers.
+func NumChunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	return numChunks(n, grain)
+}
+
+// Grain picks a chunk size for n items that yields a few chunks per worker
+// (for load balance) while never going below min items per chunk (so cheap
+// rows amortise the dispatch overhead).
+func Grain(n, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	w := Workers()
+	if w <= 1 || n <= min {
+		return n // single chunk -> serial fast path
+	}
+	g := n / (4 * w)
+	if g < min {
+		g = min
+	}
+	return g
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRange checks every index is visited exactly once, at any
+// worker count and grain.
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 2000} {
+				restore := SetWorkers(workers)
+				visits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				restore()
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForChunksLayoutFixed checks the chunk layout depends only on (n,
+// grain), not the worker count.
+func TestForChunksLayoutFixed(t *testing.T) {
+	layout := func(workers int) map[int][2]int {
+		restore := SetWorkers(workers)
+		defer restore()
+		var mu sync32
+		out := make(map[int][2]int)
+		ForChunks(100, 7, func(c, lo, hi int) {
+			mu.Lock()
+			out[c] = [2]int{lo, hi}
+			mu.Unlock()
+		})
+		return out
+	}
+	a, b := layout(1), layout(4)
+	if len(a) != len(b) || len(a) != NumChunks(100, 7) {
+		t.Fatalf("chunk counts differ: %d vs %d (want %d)", len(a), len(b), NumChunks(100, 7))
+	}
+	for c, bounds := range a {
+		if b[c] != bounds {
+			t.Errorf("chunk %d bounds differ: %v vs %v", c, bounds, b[c])
+		}
+	}
+}
+
+// sync32 is a tiny spinlock so the test has no import-order noise.
+type sync32 struct{ v atomic.Int32 }
+
+func (s *sync32) Lock() {
+	for !s.v.CompareAndSwap(0, 1) {
+	}
+}
+func (s *sync32) Unlock() { s.v.Store(0) }
+
+func TestSerialPathRunsInline(t *testing.T) {
+	restore := SetWorkers(1)
+	defer restore()
+	calls := 0
+	For(10, 3, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Errorf("serial path should get one chunk [0,10), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("serial path called fn %d times, want 1", calls)
+	}
+}
+
+func TestSetWorkersRestore(t *testing.T) {
+	base := Workers()
+	restore := SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	restore()
+	if Workers() != base {
+		t.Errorf("Workers() = %d after restore, want %d", Workers(), base)
+	}
+}
+
+func TestGrain(t *testing.T) {
+	restore := SetWorkers(4)
+	defer restore()
+	if g := Grain(1000, 1); g < 1 || g > 1000 {
+		t.Errorf("Grain(1000,1) = %d out of range", g)
+	}
+	// min floor respected
+	if g := Grain(1000, 200); g != 200 {
+		t.Errorf("Grain(1000,200) = %d, want 200", g)
+	}
+	restore2 := SetWorkers(1)
+	defer restore2()
+	if g := Grain(1000, 1); g != 1000 {
+		t.Errorf("single worker should yield one chunk, got grain %d", g)
+	}
+}
+
+// TestForParallelWrites exercises concurrent disjoint writes under the race
+// detector.
+func TestForParallelWrites(t *testing.T) {
+	restore := SetWorkers(8)
+	defer restore()
+	n := 10000
+	out := make([]float64, n)
+	For(n, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i) * 2
+		}
+	})
+	for i, v := range out {
+		if v != float64(i)*2 {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+}

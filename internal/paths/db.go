@@ -1,7 +1,10 @@
 package paths
 
 import (
+	"sort"
+
 	"sate/internal/constellation"
+	"sate/internal/par"
 	"sate/internal/topology"
 )
 
@@ -14,6 +17,11 @@ type Pair struct {
 // It lazily computes k candidate paths per requested pair and maintains them
 // incrementally: when the topology changes, only paths that traverse a
 // removed link are recomputed (Sec. 4: "<2% of paths per second, 56 ms").
+//
+// Bulk operations (Precompute, the recompute inside Update) fan the
+// independent per-pair k-shortest searches out across the par worker pool;
+// only the link-index merge runs serially. DB itself is not safe for
+// concurrent use — the parallelism is internal.
 type DB struct {
 	Cons *constellation.Constellation
 	K    int
@@ -35,9 +43,10 @@ type UpdateStats struct {
 	PairsRecomputed int // pair-path sets recomputed across all updates
 }
 
-// NewDB creates a path database over an initial snapshot.
-func NewDB(c *constellation.Constellation, s *topology.Snapshot, k int) *DB {
-	return &DB{
+// NewDB creates a path database over an initial snapshot. Any warm pairs are
+// precomputed immediately (in parallel across the worker pool).
+func NewDB(c *constellation.Constellation, s *topology.Snapshot, k int, warm ...Pair) *DB {
+	db := &DB{
 		Cons:      c,
 		K:         k,
 		router:    NewGridRouter(c, s),
@@ -45,6 +54,10 @@ func NewDB(c *constellation.Constellation, s *topology.Snapshot, k int) *DB {
 		paths:     make(map[Pair][]Path),
 		linkIndex: make(map[uint64]map[Pair]struct{}),
 	}
+	if len(warm) > 0 {
+		db.Precompute(warm)
+	}
+	return db
 }
 
 // Snapshot returns the snapshot the database currently reflects.
@@ -60,6 +73,44 @@ func (db *DB) Paths(src, dst constellation.SatID) []Path {
 	db.paths[p] = ps
 	db.index(p, ps)
 	return ps
+}
+
+// Precompute computes and caches the candidate paths of every not-yet-known
+// pair in the list, fanning the independent searches out across the worker
+// pool. Afterwards Paths for those pairs is a cache hit. Duplicate and
+// already-known pairs are skipped.
+func (db *DB) Precompute(pairs []Pair) {
+	missing := make([]Pair, 0, len(pairs))
+	seen := make(map[Pair]struct{}, len(pairs))
+	for _, p := range pairs {
+		if _, ok := db.paths[p]; ok {
+			continue
+		}
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		missing = append(missing, p)
+	}
+	results := db.computeAll(missing)
+	for i, p := range missing {
+		db.paths[p] = results[i]
+		db.index(p, results[i])
+	}
+}
+
+// computeAll runs the k-shortest search for each pair concurrently. The
+// searches share only the read-only router (its lazy generic graph is built
+// under a sync.Once), and each writes its own result slot, so the output is
+// identical to a serial loop.
+func (db *DB) computeAll(pairs []Pair) [][]Path {
+	out := make([][]Path, len(pairs))
+	par.For(len(pairs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = db.router.KShortest(pairs[i].Src, pairs[i].Dst, db.K)
+		}
+	})
+	return out
 }
 
 func (db *DB) index(pair Pair, ps []Path) {
@@ -91,24 +142,34 @@ func (db *DB) unindex(pair Pair, ps []Path) {
 }
 
 // Update moves the database to a new snapshot, recomputing only the pairs
-// whose paths traverse a removed link. It returns the number of pairs
-// recomputed.
+// whose paths traverse a removed link. The independent recomputations run in
+// parallel; the index merge is serial and processes pairs in sorted order so
+// the update is deterministic. It returns the number of pairs recomputed.
 func (db *DB) Update(s *topology.Snapshot) int {
 	_, removed := db.snap.Diff(s)
-	dirty := make(map[Pair]struct{})
+	dirtySet := make(map[Pair]struct{})
 	for _, l := range removed {
 		for pair := range db.linkIndex[linkKey(l)] {
-			dirty[pair] = struct{}{}
+			dirtySet[pair] = struct{}{}
 		}
 	}
 	db.snap = s
 	db.router = NewGridRouter(db.Cons, s)
-	for pair := range dirty {
-		old := db.paths[pair]
-		db.unindex(pair, old)
-		ps := db.router.KShortest(pair.Src, pair.Dst, db.K)
-		db.paths[pair] = ps
-		db.index(pair, ps)
+	dirty := make([]Pair, 0, len(dirtySet))
+	for pair := range dirtySet {
+		dirty = append(dirty, pair)
+	}
+	sort.Slice(dirty, func(i, j int) bool {
+		if dirty[i].Src != dirty[j].Src {
+			return dirty[i].Src < dirty[j].Src
+		}
+		return dirty[i].Dst < dirty[j].Dst
+	})
+	results := db.computeAll(dirty)
+	for i, pair := range dirty {
+		db.unindex(pair, db.paths[pair])
+		db.paths[pair] = results[i]
+		db.index(pair, results[i])
 	}
 	db.Stats.Updates++
 	db.Stats.PairsTotal = len(db.paths)

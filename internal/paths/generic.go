@@ -3,6 +3,7 @@ package paths
 import (
 	"container/heap"
 	"math"
+	"sync"
 
 	"sate/internal/orbit"
 	"sate/internal/topology"
@@ -24,86 +25,139 @@ func GraphFrom(s *topology.Snapshot) *Graph {
 // settled up to k times; walks with repeated nodes are discarded). Paths are
 // returned in nondecreasing hop count. This is the generic engine used when
 // grid enumeration does not apply (e.g. links missing at high latitudes).
-func (g *Graph) KShortest(src, dst topology.NodeID, k int) []Path {
+//
+// Labels live in a pooled index-linked slab rather than a pointer-chained
+// heap graph: one allocation per search instead of two per expansion, and no
+// pointers for the GC to trace. The priority queue mirrors container/heap's
+// sift algorithms exactly, so the pop order — including ties — matches the
+// previous heap-of-pointers implementation bit for bit.
+func (g *Graph) KShortest(src, dst topology.NodeID, k int) (out []Path) {
 	if src == dst || k <= 0 {
 		return nil
 	}
-	pq := &labelHeap{}
-	heap.Push(pq, &labelEntry{l: &pathLabel{node: src}, cost: 0})
-	count := make([]int, g.N)
-	var out []Path
-	for pq.Len() > 0 {
-		e := heap.Pop(pq).(*labelEntry)
-		l := e.l
-		if count[l.node] >= k {
+	sc := kspPool.Get().(*kspScratch)
+	defer kspPool.Put(sc)
+	sc.reset(g.N)
+	sc.labels = append(sc.labels, kspLabel{node: src, hops: 0, prev: -1})
+	sc.push(0)
+	for len(sc.heap) > 0 {
+		li := sc.pop()
+		l := sc.labels[li]
+		if sc.count[l.node] >= k {
 			continue
 		}
-		count[l.node]++
+		sc.count[l.node]++
 		if l.node == dst {
-			out = append(out, l.path())
+			out = append(out, sc.path(li))
 			if len(out) >= k {
 				return out
 			}
 			continue
 		}
 		for _, nb := range g.Adj[l.node] {
-			if l.contains(nb) {
+			if sc.chainContains(li, nb) {
 				continue // loop-free walks only
 			}
-			heap.Push(pq, &labelEntry{l: &pathLabel{node: nb, hops: l.hops + 1, prev: l}, cost: l.hops + 1})
+			sc.labels = append(sc.labels, kspLabel{node: nb, hops: l.hops + 1, prev: li})
+			sc.push(int32(len(sc.labels) - 1))
 		}
 	}
 	return out
 }
 
-// pathLabel is a node on a partial-path chain in the k-shortest search.
-type pathLabel struct {
+// kspLabel is a node on a partial-path chain in the k-shortest search; prev
+// indexes the owning scratch slab (-1 at the source).
+type kspLabel struct {
 	node topology.NodeID
-	hops int
-	prev *pathLabel
+	hops int32
+	prev int32
 }
 
-// contains reports whether the chain up to this label visits n.
-func (l *pathLabel) contains(n topology.NodeID) bool {
-	for x := l; x != nil; x = x.prev {
-		if x.node == n {
+// kspScratch is the per-search state of KShortest, pooled across calls so a
+// search costs O(1) allocations. The heap holds label indices ordered by hop
+// count.
+type kspScratch struct {
+	labels []kspLabel
+	heap   []int32
+	count  []int
+}
+
+var kspPool = sync.Pool{New: func() interface{} { return new(kspScratch) }}
+
+func (sc *kspScratch) reset(n int) {
+	sc.labels = sc.labels[:0]
+	sc.heap = sc.heap[:0]
+	if cap(sc.count) < n {
+		sc.count = make([]int, n)
+	} else {
+		sc.count = sc.count[:n]
+		for i := range sc.count {
+			sc.count[i] = 0
+		}
+	}
+}
+
+func (sc *kspScratch) less(i, j int) bool {
+	return sc.labels[sc.heap[i]].hops < sc.labels[sc.heap[j]].hops
+}
+
+// push and pop replicate container/heap's Push/Pop (up/down sifts verbatim)
+// over the index slice.
+func (sc *kspScratch) push(li int32) {
+	sc.heap = append(sc.heap, li)
+	i := len(sc.heap) - 1
+	for {
+		parent := (i - 1) / 2
+		if parent == i || !sc.less(i, parent) {
+			break
+		}
+		sc.heap[parent], sc.heap[i] = sc.heap[i], sc.heap[parent]
+		i = parent
+	}
+}
+
+func (sc *kspScratch) pop() int32 {
+	h := sc.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && sc.less(j2, j1) {
+			j = j2
+		}
+		if !sc.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	top := h[n]
+	sc.heap = h[:n]
+	return top
+}
+
+// chainContains reports whether the chain ending at label li visits n.
+func (sc *kspScratch) chainContains(li int32, n topology.NodeID) bool {
+	for x := li; x >= 0; x = sc.labels[x].prev {
+		if sc.labels[x].node == n {
 			return true
 		}
 	}
 	return false
 }
 
-// path materializes the chain as a Path.
-func (l *pathLabel) path() Path {
-	var rev []topology.NodeID
-	for x := l; x != nil; x = x.prev {
-		rev = append(rev, x.node)
-	}
-	nodes := make([]topology.NodeID, len(rev))
-	for i := range rev {
-		nodes[i] = rev[len(rev)-1-i]
+// path materializes the chain ending at label li as a Path (source first).
+func (sc *kspScratch) path(li int32) Path {
+	nodes := make([]topology.NodeID, sc.labels[li].hops+1)
+	for x := li; x >= 0; x = sc.labels[x].prev {
+		nodes[sc.labels[x].hops] = sc.labels[x].node
 	}
 	return Path{Nodes: nodes}
-}
-
-type labelEntry struct {
-	l    *pathLabel
-	cost int
-}
-
-type labelHeap []*labelEntry
-
-func (h labelHeap) Len() int            { return len(h) }
-func (h labelHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h labelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *labelHeap) Push(x interface{}) { *h = append(*h, x.(*labelEntry)) }
-func (h *labelHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // ShortestHops runs a BFS from src and returns hop distances to all nodes

@@ -1,6 +1,8 @@
 package paths
 
 import (
+	"sync"
+
 	"sate/internal/constellation"
 	"sate/internal/topology"
 )
@@ -27,7 +29,11 @@ type GridRouter struct {
 	Snap *topology.Snapshot
 
 	links map[uint64]topology.Link
-	graph *Graph
+	// graph is the lazily built generic-engine view; graphOnce guards the
+	// build so KShortest is safe to call from many goroutines at once (the
+	// router is otherwise read-only after construction).
+	graphOnce sync.Once
+	graph     *Graph
 	// crossLinks[sat] lists cross-shell or relay partners of sat.
 	crossLinks map[topology.NodeID][]topology.NodeID
 }
@@ -50,9 +56,7 @@ func NewGridRouter(c *constellation.Constellation, s *topology.Snapshot) *GridRo
 }
 
 func (r *GridRouter) generic() *Graph {
-	if r.graph == nil {
-		r.graph = GraphFrom(r.Snap)
-	}
+	r.graphOnce.Do(func() { r.graph = GraphFrom(r.Snap) })
 	return r.graph
 }
 

@@ -1,0 +1,151 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"sate/internal/constellation"
+	"sate/internal/par"
+	"sate/internal/topology"
+)
+
+// toyPairs draws a deterministic pair sample over the toy-60 constellation.
+func toyPairs(c *constellation.Constellation, n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Pair
+	for len(out) < n {
+		a := constellation.SatID(rng.Intn(c.Size()))
+		b := constellation.SatID(rng.Intn(c.Size()))
+		if a == b {
+			continue
+		}
+		out = append(out, Pair{Src: a, Dst: b})
+	}
+	return out
+}
+
+// dbContents flattens a DB's pair->paths map into comparable form.
+func dbContents(db *DB) map[Pair][]string {
+	out := make(map[Pair][]string, len(db.paths))
+	for pair, ps := range db.paths {
+		keys := make([]string, len(ps))
+		for i, p := range ps {
+			keys[i] = p.Key()
+		}
+		out[pair] = keys
+	}
+	return out
+}
+
+func requireSameContents(t *testing.T, serial, parallel map[Pair][]string) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("pair counts differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for pair, want := range serial {
+		got, ok := parallel[pair]
+		if !ok {
+			t.Fatalf("pair %v missing from parallel DB", pair)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pair %v: %d paths parallel vs %d serial", pair, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pair %v path %d: %q parallel vs %q serial", pair, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDBParallelMatchesSerial builds the same path database over a seeded
+// toy-60 snapshot with 1 worker and with 4 workers — contents (and the
+// contents after an incremental Update across a topology change) must be
+// identical.
+func TestDBParallelMatchesSerial(t *testing.T) {
+	cons := constellation.Toy(5, 6)
+	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
+	s0 := gen.Snapshot(0)
+	// Advance until the topology actually changes so Update recomputes pairs.
+	var s1 *topology.Snapshot
+	for tm := 5.0; tm <= 600; tm += 5 {
+		s := gen.Snapshot(tm)
+		if !s.SameTopology(s0) {
+			s1 = s
+			break
+		}
+	}
+	pairs := toyPairs(cons, 80, 3)
+
+	build := func(workers int) (after0, after1 map[Pair][]string, recomputed int) {
+		restore := par.SetWorkers(workers)
+		defer restore()
+		db := NewDB(cons, s0, 4, pairs...)
+		after0 = dbContents(db)
+		if s1 != nil {
+			recomputed = db.Update(s1)
+			after1 = dbContents(db)
+		}
+		return after0, after1, recomputed
+	}
+
+	s0Serial, s1Serial, recSerial := build(1)
+	s0Par, s1Par, recPar := build(4)
+	requireSameContents(t, s0Serial, s0Par)
+	if s1 != nil {
+		if recSerial != recPar {
+			t.Fatalf("recomputed pairs differ: serial %d, parallel %d", recSerial, recPar)
+		}
+		requireSameContents(t, s1Serial, s1Par)
+	} else {
+		t.Log("topology never changed in the window; Update equivalence skipped")
+	}
+}
+
+// TestPrecomputeMatchesLazyPaths checks bulk Precompute yields exactly what
+// lazy per-pair Paths calls would.
+func TestPrecomputeMatchesLazyPaths(t *testing.T) {
+	cons := constellation.Toy(5, 6)
+	s0 := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers)).Snapshot(0)
+	pairs := toyPairs(cons, 50, 9)
+
+	lazy := NewDB(cons, s0, 4)
+	for _, p := range pairs {
+		lazy.Paths(p.Src, p.Dst)
+	}
+	restore := par.SetWorkers(4)
+	defer restore()
+	bulk := NewDB(cons, s0, 4)
+	bulk.Precompute(pairs)
+	requireSameContents(t, dbContents(lazy), dbContents(bulk))
+	if bulk.KnownPairs() != lazy.KnownPairs() {
+		t.Fatalf("known pairs differ: %d vs %d", bulk.KnownPairs(), lazy.KnownPairs())
+	}
+}
+
+// benchKShortestFanout routes a fixed pair sample at Starlink scale under a
+// fixed worker count.
+func benchKShortestFanout(b *testing.B, workers int) {
+	cons := constellation.StarlinkPhase1()
+	snap := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers)).Snapshot(0)
+	router := NewGridRouter(cons, snap)
+	router.generic() // pre-build so the bench measures routing, not setup
+	pairs := toyPairs(cons, 64, 17)
+	restore := par.SetWorkers(workers)
+	defer restore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([][]Path, len(pairs))
+		par.For(len(pairs), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				out[j] = router.KShortest(pairs[j].Src, pairs[j].Dst, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkParKShortestFanout reports serial-vs-parallel ns/op for the
+// per-pair path fan-out (64 Starlink pairs per iteration).
+func BenchmarkParKShortestFanoutSerial(b *testing.B)   { benchKShortestFanout(b, 1) }
+func BenchmarkParKShortestFanoutParallel(b *testing.B) { benchKShortestFanout(b, 0) }

@@ -45,6 +45,13 @@ func Build(s *topology.Snapshot, m *traffic.Matrix, db *paths.DB, cfg BuildConfi
 		upConn = make([]int, s.NumNodes)
 		downConn = make([]int, s.NumNodes)
 	}
+	// Bulk-warm the path database so the per-pair k-shortest searches fan
+	// out across the worker pool; the loop below then hits the cache.
+	warm := make([]paths.Pair, len(m.Entries))
+	for i, e := range m.Entries {
+		warm[i] = paths.Pair{Src: e.Src, Dst: e.Dst}
+	}
+	db.Precompute(warm)
 	for _, e := range m.Entries {
 		ps := db.Paths(e.Src, e.Dst)
 		p.Flows = append(p.Flows, FlowDemand{

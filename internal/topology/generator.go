@@ -6,6 +6,7 @@ import (
 	"sate/internal/constellation"
 	"sate/internal/groundnet"
 	"sate/internal/orbit"
+	"sate/internal/par"
 )
 
 // CrossShellMode selects how shells interconnect (Fig. 2 b/c).
@@ -315,11 +316,21 @@ func maxInt(a, b int) int {
 }
 
 // Series generates n consecutive snapshots spaced dt seconds apart, starting
-// at t0.
+// at t0. Snapshots at distinct instants are independent, so the series is
+// generated in parallel chunks; each chunk gets its own Generator clone
+// (Snapshot reuses per-generator scratch buffers and is not reentrant).
+// Snapshot output is a pure function of (constellation, config, t), so the
+// result is identical to the serial sweep.
 func (g *Generator) Series(t0, dt float64, n int) []*Snapshot {
 	out := make([]*Snapshot, n)
-	for i := 0; i < n; i++ {
-		out[i] = g.Snapshot(t0 + dt*float64(i))
-	}
+	par.ForChunks(n, par.Grain(n, 8), func(chunk, lo, hi int) {
+		gen := g
+		if lo != 0 || hi != n {
+			gen = NewGenerator(g.Cons, g.Cfg)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = gen.Snapshot(t0 + dt*float64(i))
+		}
+	})
 	return out
 }

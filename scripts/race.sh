@@ -1,0 +1,12 @@
+#!/bin/sh
+# Race-detector pass over every package that spawns goroutines through
+# internal/par (kernels, path fan-out, snapshot series, experiment grids).
+# Part of the tier-1 verify path: run before merging changes to any of these.
+set -eu
+cd "$(dirname "$0")/.."
+go test -race \
+	./internal/par/... \
+	./internal/autodiff/... \
+	./internal/paths/... \
+	./internal/topology/... \
+	./internal/te/...
