@@ -85,8 +85,10 @@ func main() {
 	srv := controller.New(scen, solver)
 	stop := make(chan struct{})
 	errc := make(chan error, 2)
+	//lint:ignore no-naked-goroutine server lifecycle, not compute parallelism: the tick loop runs for the process lifetime
 	go func() { errc <- srv.Run(*start, *interval, stop) }()
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	//lint:ignore no-naked-goroutine server lifecycle, not compute parallelism: ListenAndServe blocks until shutdown
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	fmt.Printf("sate-controld: %s, method %s, interval %gs, listening on %s\n",
@@ -104,5 +106,7 @@ func main() {
 		fmt.Println("shutting down")
 	}
 	close(stop)
-	httpSrv.Close()
+	if err := httpSrv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }

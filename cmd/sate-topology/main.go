@@ -73,7 +73,9 @@ func main() {
 	if *cache != "" {
 		if f, err := os.Open(*cache); err == nil {
 			snaps, err = topology.ReadSeries(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "reading cache %s: %v\n", *cache, err)
 				os.Exit(1)

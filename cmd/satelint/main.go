@@ -1,0 +1,79 @@
+// Command satelint runs the project's static-analysis suite over Go
+// packages and reports violations of the repo's determinism and concurrency
+// invariants as "file:line:col: [rule] message" diagnostics.
+//
+// Usage:
+//
+//	satelint ./...                      # run every rule
+//	satelint -only seeded-rand-only ./internal/...
+//	satelint -skip no-float-equality ./...
+//	satelint -list                      # describe the rules
+//
+// Suppress an individual finding with a directive comment on the same line
+// or the line directly above it (the reason is mandatory):
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sate/internal/lint"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the available rules and exit")
+		only     = flag.String("only", "", "comma-separated rules to run (default: all)")
+		skip     = flag.String("skip", "", "comma-separated rules to skip")
+		dir      = flag.String("dir", ".", "module directory to lint")
+		skipTest = flag.Bool("no-tests", false, "do not analyze _test.go files")
+	)
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := lint.Select(all, *only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	files, err := lint.Load(lint.Options{
+		Dir:       *dir,
+		Patterns:  flag.Args(),
+		SkipTests: *skipTest,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(files, analyzers)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		// Print paths relative to the working directory when possible:
+		// shorter, and clickable in most terminals.
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "satelint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ func TestStarlinkPhase1Count(t *testing.T) {
 	}
 	wantAlt := []float64{540, 550, 560, 570}
 	for i, sh := range c.Shells {
+		//lint:ignore no-float-equality preset altitudes are exact configured literals
 		if sh.AltitudeKm != wantAlt[i] {
 			t.Errorf("shell %d altitude = %v, want %v", i, sh.AltitudeKm, wantAlt[i])
 		}

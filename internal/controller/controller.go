@@ -76,7 +76,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		// A failed write to a health-check client is not actionable.
+		_, _ = fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /allocation", s.handleAllocation)

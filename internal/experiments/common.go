@@ -274,10 +274,14 @@ func solveLatency(al sim.Allocator, p *te.Problem) (time.Duration, error) {
 func (r *Report) CSV() string {
 	var b strings.Builder
 	w := csv.NewWriter(&b)
-	w.Write(r.Header)
+	_ = w.Write(r.Header) // error is sticky; checked once after Flush
 	for _, row := range r.Rows {
-		w.Write(row)
+		_ = w.Write(row)
 	}
 	w.Flush()
+	if err := w.Error(); err != nil {
+		// Unreachable: strings.Builder writes cannot fail.
+		panic("experiments: rendering CSV: " + err.Error())
+	}
 	return b.String()
 }

@@ -21,6 +21,7 @@ func TestEmbedDeterministicAndNormalized(t *testing.T) {
 		t.Fatalf("dim = %d", len(a))
 	}
 	for i := range a {
+		//lint:ignore no-float-equality bitwise determinism is exactly what this test asserts
 		if a[i] != b[i] {
 			t.Fatal("embedding not deterministic")
 		}

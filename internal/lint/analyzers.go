@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Analyzers returns the full rule suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		noNakedGoroutine,
+		seededRandOnly,
+		noWallclockInSim,
+		noFloatEquality,
+		checkedErrors,
+		noFmtPrintInLib,
+	}
+}
+
+// poolPath is the one package allowed to spawn goroutines: every other
+// package must route parallelism through its deterministic worker pool.
+const poolPath = "internal/par"
+
+// wallclockDeny lists the simulated-time packages where reading the wall
+// clock breaks reproducibility. sim, baselines, experiments, controller,
+// cmd/ and the root package are deliberately absent: there, wall-clock
+// timing is the measurement itself (solver latency, figure tables).
+var wallclockDeny = map[string]bool{
+	"internal/orbit":      true,
+	"internal/topology":   true,
+	"internal/traffic":    true,
+	"internal/te":         true,
+	"internal/lp":         true,
+	"internal/gnn":        true,
+	"internal/autodiff":   true,
+	"internal/paths":      true,
+	"internal/graphembed": true,
+}
+
+// globalRand lists the math/rand top-level functions that draw from the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine:
+// they are how seeded *rand.Rand values get made.
+var globalRand = map[string]bool{
+	"ExpFloat64": true, "Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Intn": true,
+	"NormFloat64": true, "Perm": true, "Read": true,
+	"Seed": true, "Shuffle": true,
+	"Uint32": true, "Uint64": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+// importedCall reports whether call is pkg.Name(...) where pkg is an import
+// of one of the given paths, returning the selected name.
+func importedCall(f *File, call *ast.CallExpr, paths ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := f.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	for _, p := range paths {
+		if pn.Imported().Path() == p {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+var noNakedGoroutine = &Analyzer{
+	Name: "no-naked-goroutine",
+	Doc: "go statements are forbidden outside internal/par and _test.go files; " +
+		"all parallelism flows through the deterministic worker pool",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.IsTest || f.RelPath == poolPath {
+			return
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				report(g, "go statement outside %s; route parallelism through the worker pool", poolPath)
+			}
+			return true
+		})
+	},
+}
+
+var seededRandOnly = &Analyzer{
+	Name: "seeded-rand-only",
+	Doc: "top-level math/rand functions draw from the unseeded global source; " +
+		"library code must thread an explicit *rand.Rand",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.IsTest {
+			return
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := importedCall(f, call, "math/rand", "math/rand/v2"); ok && globalRand[name] {
+				report(call, "global rand.%s call; thread an explicit seeded *rand.Rand instead", name)
+			}
+			return true
+		})
+	},
+}
+
+var noWallclockInSim = &Analyzer{
+	Name: "no-wallclock-in-sim",
+	Doc: "time.Now/time.Since are forbidden in simulated-time packages " +
+		"(orbit, topology, traffic, te, lp, gnn, autodiff, paths, graphembed); " +
+		"time must arrive as a parameter",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.IsTest || !wallclockDeny[f.RelPath] {
+			return
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := importedCall(f, call, "time"); ok && (name == "Now" || name == "Since") {
+				report(call, "time.%s in simulated-time package %s; pass time in as a parameter", name, f.RelPath)
+			}
+			return true
+		})
+	},
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+var noFloatEquality = &Analyzer{
+	Name: "no-float-equality",
+	Doc: "==/!= between two computed float expressions is almost always a bug; " +
+		"comparisons against constants (exact sentinels like 0) are allowed, as are " +
+		"the serial-vs-parallel equivalence tests where bitwise equality is the point",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.RelPath == poolPath || strings.HasSuffix(filepath.Base(f.Name), "parallel_test.go") {
+			return
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := f.Info.Types[be.X], f.Info.Types[be.Y]
+			if x.Type == nil || y.Type == nil || !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			if x.Value != nil || y.Value != nil {
+				return true // comparison against an exact constant sentinel
+			}
+			report(be, "%s on float operands; compare with a tolerance or math.Abs", be.Op)
+			return true
+		})
+	},
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether t (a call's result type) is or contains error.
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// exemptWriter reports whether writing to e cannot produce an actionable
+// error: os.Stdout/os.Stderr (nothing to do if the process's own stdio is
+// broken), and the in-memory buffers strings.Builder and bytes.Buffer
+// (documented to never return a non-nil error).
+func exemptWriter(f *File, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := f.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return true
+			}
+		}
+	}
+	switch typeString(f.Info.TypeOf(e)) {
+	case "*strings.Builder", "strings.Builder", "*bytes.Buffer", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// typeString renders a type, or "" for nil.
+func typeString(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	return t.String()
+}
+
+// errExempt reports whether a discarded error from this call is exempt by
+// design: prints to process stdio, writes into never-failing in-memory
+// buffers, and fmt.Fprint* into a *bufio.Writer, whose error is sticky and
+// surfaced by the mandatory Flush at the end (Flush itself is not exempt).
+func errExempt(f *File, call *ast.CallExpr) bool {
+	if name, ok := importedCall(f, call, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				if exemptWriter(f, call.Args[0]) || typeString(f.Info.TypeOf(call.Args[0])) == "*bufio.Writer" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Write methods on the in-memory buffers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return exemptWriter(f, sel.X)
+		}
+	}
+	return false
+}
+
+var checkedErrors = &Analyzer{
+	Name: "checked-errors",
+	Doc: "a call whose returned error is silently discarded as a bare statement " +
+		"must handle it or assign it away explicitly (_ =); defers, stdio prints, " +
+		"in-memory buffer writes, and sticky-error bufio prints are exempt",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.IsTest {
+			return
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if returnsError(f.Info.Types[call].Type) && !errExempt(f, call) {
+				report(stmt, "returned error is discarded; handle it or assign to _ explicitly")
+			}
+			return true
+		})
+	},
+}
+
+var noFmtPrintInLib = &Analyzer{
+	Name: "no-fmt-print-in-lib",
+	Doc: "fmt.Print*/println write to process stdout/stderr from library code; " +
+		"take an io.Writer instead (cmd/ and examples/ are exempt)",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.IsTest {
+			return
+		}
+		// Library scope: the module root package and everything under
+		// internal/. Binaries (cmd/, examples/) own their stdout.
+		if f.RelPath != "" && !strings.HasPrefix(f.RelPath, "internal/") {
+			return
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := importedCall(f, call, "fmt"); ok &&
+				(name == "Print" || name == "Printf" || name == "Println") {
+				report(call, "fmt.%s in library package %s; write to an io.Writer instead", name, f.ImportPath)
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := f.Info.Uses[id].(*types.Builtin); ok &&
+					(b.Name() == "print" || b.Name() == "println") {
+					report(call, "builtin %s in library package %s; write to an io.Writer instead", b.Name(), f.ImportPath)
+				}
+			}
+			return true
+		})
+	},
+}

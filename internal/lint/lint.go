@@ -1,0 +1,157 @@
+// Package lint implements satelint, the project's static-analysis suite.
+// It enforces the determinism and concurrency invariants the SaTE
+// reproduction depends on — all parallelism goes through the internal/par
+// pool, randomness flows through explicit seeded *rand.Rand values, and
+// simulated-time packages never read the wall clock — plus general hygiene
+// rules (discarded errors, float equality, stray prints in library code).
+//
+// The suite is built purely on the standard library (go/ast, go/parser,
+// go/token, go/types); package resolution shells out to the go command for
+// export data instead of depending on golang.org/x/tools.
+//
+// A finding can be suppressed with a directive comment on the same line or
+// the line directly above it:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the diagnostic as "file:line:col: [rule] message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Analyzer is one named, individually toggleable rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	run  func(f *File, report func(n ast.Node, format string, args ...any))
+}
+
+// directiveRule is the pseudo-rule under which malformed //lint:ignore
+// directives are reported.
+const directiveRule = "lint-directive"
+
+// Run applies the analyzers to every file and returns the unsuppressed
+// findings sorted by position.
+func Run(files []*File, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, f := range files {
+		ignored, bad := suppressions(f)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			a.run(f, func(n ast.Node, format string, args ...any) {
+				pos := f.Fset.Position(n.Pos())
+				if ignored[pos.Line][a.Name] || ignored[pos.Line-1][a.Name] {
+					return
+				}
+				out = append(out, Finding{Pos: pos, Rule: a.Name, Msg: fmt.Sprintf(format, args...)})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// suppressions scans a file's comments for //lint:ignore directives. It
+// returns a map from line number to the set of rules suppressed on that
+// line (a directive covers its own line and the one below it), plus
+// findings for malformed directives.
+func suppressions(f *File) (map[int]map[string]bool, []Finding) {
+	ignored := map[int]map[string]bool{}
+	var bad []Finding
+	for _, cg := range f.Ast.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := f.Fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Pos:  pos,
+					Rule: directiveRule,
+					Msg:  "malformed directive: want //lint:ignore <rule>[,<rule>] <reason>",
+				})
+				continue
+			}
+			rules := ignored[pos.Line]
+			if rules == nil {
+				rules = map[string]bool{}
+				ignored[pos.Line] = rules
+			}
+			for _, r := range strings.Split(fields[0], ",") {
+				rules[r] = true
+			}
+		}
+	}
+	return ignored, bad
+}
+
+// Select returns the analyzers chosen by the only/skip lists (comma- or
+// space-separated rule names); an empty only-list means all. Unknown names
+// are an error so typos cannot silently disable a gate.
+func Select(all []*Analyzer, only, skip string) ([]*Analyzer, error) {
+	names := map[string]*Analyzer{}
+	for _, a := range all {
+		names[a.Name] = a
+	}
+	parse := func(s string) (map[string]bool, error) {
+		set := map[string]bool{}
+		for _, f := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' }) {
+			if names[f] == nil {
+				return nil, fmt.Errorf("lint: unknown rule %q", f)
+			}
+			set[f] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,15 @@
+// Command tool shows which rules still apply in binaries: printing and
+// wall-clock are fine here, naked goroutines are not.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println("printing from cmd is fine", time.Now())
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,38 @@
+package lib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// Dropped discards returned errors: flagged twice (plain error and a
+// tuple containing one).
+func Dropped(w io.Writer) {
+	mayFail()
+	w.Write([]byte("x"))
+}
+
+// Handled shows the accepted spellings: explicit discard, real handling,
+// defers, never-failing buffer writes, stdio prints, and sticky-error
+// bufio prints followed by a checked Flush.
+func Handled(b *strings.Builder, bw *bufio.Writer) error {
+	_ = mayFail()
+	defer mayFail()
+	b.WriteString("x")
+	fmt.Fprintln(os.Stdout, "stdio write")
+	fmt.Fprintf(bw, "buffered %d", 1)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return mayFail()
+}
+
+// FlushDropped discards the one bufio call that must be checked: flagged.
+func FlushDropped(bw *bufio.Writer) {
+	bw.Flush()
+}

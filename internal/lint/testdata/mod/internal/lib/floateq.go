@@ -1,0 +1,27 @@
+package lib
+
+// Eq compares computed floats: flagged.
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+// Neq compares computed float32s: flagged.
+func Neq(a, b float32) bool {
+	return a != b
+}
+
+// Sentinel compares against an exact constant: allowed.
+func Sentinel(a float64) bool {
+	return a == 0
+}
+
+// Ints compares integers: allowed.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// EqSuppressed documents an intentional bitwise comparison.
+func EqSuppressed(a, b float64) bool {
+	//lint:ignore no-float-equality fixture: bitwise equality intended
+	return a == b
+}

@@ -1,0 +1,18 @@
+package lib
+
+import (
+	"fmt"
+	"io"
+)
+
+// Shout prints to process stdout from library code: flagged twice.
+func Shout(msg string) {
+	fmt.Println(msg)
+	println(msg)
+}
+
+// ToWriter is the approved pattern: an explicit destination.
+func ToWriter(w io.Writer, msg string) {
+	//lint:ignore checked-errors fixture: demo writer, error unactionable
+	fmt.Fprintln(w, msg)
+}

@@ -1,0 +1,19 @@
+package lib
+
+import "math/rand"
+
+// GlobalDraw uses the global source twice: flagged twice.
+func GlobalDraw(xs []int) float64 {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return rand.Float64()
+}
+
+// SeededDraw is the approved pattern.
+func SeededDraw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// NewRNG is fine: constructors do not touch the global source.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,19 @@
+package lib
+
+// Spawn launches a naked goroutine: flagged.
+func Spawn(fn func()) {
+	go fn()
+}
+
+// SpawnSuppressed uses the escape hatch.
+func SpawnSuppressed(fn func()) {
+	//lint:ignore no-naked-goroutine fixture: lifecycle goroutine
+	go fn()
+}
+
+// SpawnBadDirective has a directive without a reason: the directive is
+// flagged and does not suppress the goroutine.
+func SpawnBadDirective(fn func()) {
+	//lint:ignore no-naked-goroutine
+	go fn()
+}

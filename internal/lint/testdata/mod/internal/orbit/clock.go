@@ -1,0 +1,25 @@
+// Package orbit sits at a deny-listed RelPath for no-wallclock-in-sim.
+package orbit
+
+import "time"
+
+// Epoch reads the wall clock: flagged.
+func Epoch() time.Time {
+	return time.Now()
+}
+
+// Age reads the wall clock: flagged.
+func Age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// SuppressedAge documents an exception.
+func SuppressedAge(t time.Time) time.Duration {
+	//lint:ignore no-wallclock-in-sim fixture: documented wall-clock exception
+	return time.Since(t)
+}
+
+// Parameterised is the approved pattern: time arrives as a parameter.
+func Parameterised(now, t time.Time) time.Duration {
+	return now.Sub(t)
+}

@@ -1,0 +1,13 @@
+// Package par is the fixture stand-in for the real worker pool: go
+// statements are legal here and nowhere else.
+package par
+
+// Go runs fn on its own goroutine and waits for it.
+func Go(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

@@ -76,6 +76,7 @@ func TestMetrics(t *testing.T) {
 	loads := p.LinkLoads(a)
 	want := []float64{10, 10, 5, 5}
 	for i := range want {
+		//lint:ignore no-float-equality small-integer link loads are exact in float64
 		if loads[i] != want[i] {
 			t.Errorf("load[%d] = %v want %v", i, loads[i], want[i])
 		}

@@ -20,6 +20,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore no-float-equality serialization roundtrip must be bitwise
 	if got.TimeSec != s.TimeSec || got.NumSats != s.NumSats || got.NumNodes != s.NumNodes {
 		t.Errorf("header mismatch: %+v", got)
 	}

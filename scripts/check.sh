@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verify gate: build, vet, satelint (the project's determinism /
+# concurrency invariant linter, see DESIGN.md "Static analysis"), tests.
+# Set RACE=1 to append the race-detector pass (scripts/race.sh).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+echo "== go vet =="
+go vet ./...
+echo "== satelint =="
+go run ./cmd/satelint ./...
+echo "== go test =="
+go test ./...
+if [ "${RACE:-0}" = "1" ]; then
+	echo "== race =="
+	./scripts/race.sh
+fi
+echo "check.sh: all gates passed"
