@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sate/internal/baselines"
@@ -92,12 +93,22 @@ func main() {
 			fmt.Printf("  epoch %3d  loss %.5f\n", ep, loss)
 		}
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	if _, err := core.Train(model, ds, tc); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	// Allocation delta over the whole run: with the reused-tape arena the
+	// steady-state per-epoch cost should be near zero after warm-up.
+	allocMB := float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / (1 << 20)
+	fmt.Printf("trained in %s (%.1f MiB allocated, %d GC cycles, %.2f MiB/epoch)\n",
+		elapsed.Round(time.Millisecond), allocMB,
+		memAfter.NumGC-memBefore.NumGC, allocMB/float64(*epochs))
 	if *savePath != "" {
 		if err := model.SaveFile(*savePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,8 +1,17 @@
 package autodiff
 
-import "math"
+import (
+	"math"
 
-// Adam is the Adam optimizer over a fixed set of parameters.
+	"sate/internal/par"
+)
+
+// Adam is the Adam optimizer over a fixed set of parameters. Step and
+// ZeroGrad run block-parallel over fixed parameter slices: the update is
+// independent per element, so any partition of the elements produces
+// bitwise-identical parameters (see TestAdamParallelMatchesSerial). The
+// global gradient norm stays a serial reduction — its cross-parameter
+// accumulation order is part of the determinism contract.
 type Adam struct {
 	LR       float64
 	Beta1    float64
@@ -12,19 +21,34 @@ type Adam struct {
 
 	params []*Value
 	m, v   []*Tensor
+	blocks []adamBlock
 	t      int
 }
+
+// adamBlock is one contiguous slice [lo, hi) of parameter pi's elements.
+type adamBlock struct{ pi, lo, hi int }
+
+// adamBlockSize bounds elements per block: large parameters split across
+// workers, small ones stay whole.
+const adamBlockSize = 4096
 
 // NewAdam creates an optimizer with standard defaults (lr as given,
 // beta1=0.9, beta2=0.999, eps=1e-8).
 func NewAdam(lr float64, params ...*Value) *Adam {
 	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
-	for _, p := range params {
+	for pi, p := range params {
 		if !p.isParam {
 			panic("autodiff: Adam over non-parameter value")
 		}
 		a.m = append(a.m, NewTensor(p.Val.Rows, p.Val.Cols))
 		a.v = append(a.v, NewTensor(p.Val.Rows, p.Val.Cols))
+		for lo := 0; lo < len(p.Val.Data); lo += adamBlockSize {
+			hi := lo + adamBlockSize
+			if hi > len(p.Val.Data) {
+				hi = len(p.Val.Data)
+			}
+			a.blocks = append(a.blocks, adamBlock{pi: pi, lo: lo, hi: hi})
+		}
 	}
 	return a
 }
@@ -34,8 +58,12 @@ func (a *Adam) Params() []*Value { return a.params }
 
 // ZeroGrad clears all parameter gradients.
 func (a *Adam) ZeroGrad() {
-	for _, p := range a.params {
-		p.Grad.Fill(0)
+	par.ForCtx(len(a.blocks), par.Grain(len(a.blocks), 1), a, adamZeroChunk)
+}
+
+func adamZeroChunk(a *Adam, lo, hi int) {
+	for _, blk := range a.blocks[lo:hi] {
+		clear(a.params[blk.pi].Grad.Data[blk.lo:blk.hi])
 	}
 }
 
@@ -50,6 +78,12 @@ func (a *Adam) GradNorm() float64 {
 	return math.Sqrt(s)
 }
 
+// adamStepArgs carries one step's scalars into the block chunks.
+type adamStepArgs struct {
+	a               *Adam
+	scale, b1c, b2c float64
+}
+
 // Step applies one Adam update from the accumulated gradients.
 func (a *Adam) Step() {
 	a.t++
@@ -61,14 +95,20 @@ func (a *Adam) Step() {
 	}
 	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
 	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
-	for pi, p := range a.params {
-		m, v := a.m[pi], a.v[pi]
-		for i := range p.Val.Data {
-			g := p.Grad.Data[i] * scale
+	par.ForCtx(len(a.blocks), par.Grain(len(a.blocks), 1),
+		adamStepArgs{a: a, scale: scale, b1c: b1c, b2c: b2c}, adamStepChunk)
+}
+
+func adamStepChunk(s adamStepArgs, lo, hi int) {
+	a := s.a
+	for _, blk := range a.blocks[lo:hi] {
+		p, m, v := a.params[blk.pi], a.m[blk.pi], a.v[blk.pi]
+		for i := blk.lo; i < blk.hi; i++ {
+			g := p.Grad.Data[i] * s.scale
 			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
 			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
-			mh := m.Data[i] / b1c
-			vh := v.Data[i] / b2c
+			mh := m.Data[i] / s.b1c
+			vh := v.Data[i] / s.b2c
 			p.Val.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
 		}
 	}

@@ -1,0 +1,131 @@
+package autodiff
+
+// The tape arena makes repeated forward/backward passes allocation-free in
+// steady state (DESIGN.md §8). Every intermediate the ops create — result
+// and gradient tensors, Value nodes, index/scratch slices — is drawn from
+// per-tape recycling pools:
+//
+//   - Tensors come from a shape-keyed free-list (key rows<<32|cols). take
+//     zeroes the recycled slab, because the kernels rely on zero-initialised
+//     outputs (gemm accumulates rows in place, scatter adds into zeros).
+//   - Values come from a pointer-stable slab of fixed-size blocks, so node
+//     addresses captured by the graph stay valid while the slab grows.
+//   - []int / []float64 / []*Value scratch comes from bump-pointer slabs
+//     that abandon the old buffer on growth (the GC reclaims it) and start
+//     clean the next cycle.
+//
+// Tape.Reset returns everything to the pools in O(live objects); after one
+// warm-up pass over a given graph shape, subsequent passes reuse the same
+// memory and perform zero heap allocations (see BenchmarkTapeReuseForwardBackward).
+//
+// The arena is single-threaded by design: allocation happens only at
+// op-issue and backward time, both of which run on the caller's goroutine.
+// Parallel kernel chunks never allocate from it.
+
+// valueBlockSize is the number of Values per slab block. Blocks are never
+// freed or moved, so *Value pointers handed out stay valid across growth.
+const valueBlockSize = 256
+
+// slab is a bump-pointer allocator over a single backing buffer. When a
+// request does not fit it abandons the buffer for a bigger one (outstanding
+// slices keep the old one alive until the GC collects it after Reset).
+type slab[T any] struct {
+	buf []T
+	cur int
+}
+
+func (s *slab[T]) take(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if s.cur+n > len(s.buf) {
+		size := 2 * len(s.buf)
+		if size < n {
+			size = n
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		s.buf = make([]T, size)
+		s.cur = 0
+	}
+	out := s.buf[s.cur : s.cur+n : s.cur+n]
+	s.cur += n
+	return out
+}
+
+func (s *slab[T]) takeZeroed(n int) []T {
+	out := s.take(n)
+	clear(out)
+	return out
+}
+
+func (s *slab[T]) reset() { s.cur = 0 }
+
+// arena is the per-tape allocation pool. Zero value is ready to use.
+type arena struct {
+	free  map[uint64][]*Tensor // shape-keyed tensor free-lists
+	owned []*Tensor            // tensors handed out since the last reset
+
+	valBlocks [][]Value
+	valBlock  int // block being filled
+	valUsed   int // entries used in that block
+
+	ints slab[int]
+	f64s slab[float64]
+	vals slab[*Value]
+}
+
+func shapeKey(rows, cols int) uint64 {
+	return uint64(uint32(rows))<<32 | uint64(uint32(cols))
+}
+
+// tensor returns a zeroed rows x cols tensor, recycled when a slab of that
+// shape is on the free-list.
+func (a *arena) tensor(rows, cols int) *Tensor {
+	key := shapeKey(rows, cols)
+	if fl := a.free[key]; len(fl) > 0 {
+		t := fl[len(fl)-1]
+		a.free[key] = fl[:len(fl)-1]
+		clear(t.Data)
+		a.owned = append(a.owned, t)
+		return t
+	}
+	if a.free == nil {
+		a.free = make(map[uint64][]*Tensor)
+	}
+	t := NewTensor(rows, cols)
+	a.owned = append(a.owned, t)
+	return t
+}
+
+// value returns a zeroed Value from the slab. The pointer stays valid until
+// the tape is garbage; reset only recycles the storage for reuse.
+func (a *arena) value() *Value {
+	if a.valBlock == len(a.valBlocks) {
+		a.valBlocks = append(a.valBlocks, make([]Value, valueBlockSize))
+	}
+	blk := a.valBlocks[a.valBlock]
+	v := &blk[a.valUsed]
+	a.valUsed++
+	if a.valUsed == valueBlockSize {
+		a.valBlock++
+		a.valUsed = 0
+	}
+	*v = Value{}
+	return v
+}
+
+// reset returns every outstanding tensor to its free-list and rewinds the
+// slabs. Callers must drop all references obtained since the previous reset.
+func (a *arena) reset() {
+	for _, t := range a.owned {
+		key := shapeKey(t.Rows, t.Cols)
+		a.free[key] = append(a.free[key], t)
+	}
+	a.owned = a.owned[:0]
+	a.valBlock, a.valUsed = 0, 0
+	a.ints.reset()
+	a.f64s.reset()
+	a.vals.reset()
+}

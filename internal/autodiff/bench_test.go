@@ -64,3 +64,69 @@ func benchSegmentSoftmax(b *testing.B, workers int) {
 
 func BenchmarkParSegmentSoftmaxSerial(b *testing.B)   { benchSegmentSoftmax(b, 1) }
 func BenchmarkParSegmentSoftmaxParallel(b *testing.B) { benchSegmentSoftmax(b, 0) }
+
+// benchTapeStep builds a GAT-shaped forward/backward/Adam step closure over
+// the fused kernels. When reuse is true a single tape is recycled with
+// Reset; otherwise every step allocates a fresh tape (the pre-arena
+// behaviour, kept as the comparison point).
+func benchTapeStep(reuse bool) func() {
+	rng := rand.New(rand.NewSource(5))
+	const nodes, edges, dim = 512, 2048, 32
+	w1 := Param(NewTensor(dim, dim).Randn(rng, 1))
+	b1 := Param(NewTensor(1, dim))
+	w2 := Param(NewTensor(dim, 1).Randn(rng, 1))
+	b2 := Param(NewTensor(1, 1))
+	x := NewTensor(edges, dim).Randn(rng, 1)
+	seg := make([]int, edges)
+	for i := range seg {
+		seg[i] = rng.Intn(nodes)
+	}
+	opt := NewAdam(1e-3, w1, b1, w2, b2)
+	tp := NewTape()
+	return func() {
+		if reuse {
+			tp.Reset()
+		} else {
+			tp = NewTape()
+		}
+		xin := tp.Const(tp.TensorFrom(edges, dim, x.Data))
+		h := tp.LinearLeakyReLU(xin, tp.Watch(w1), tp.Watch(b1), 0.2)
+		score := tp.Linear(h, tp.Watch(w2), tp.Watch(b2))
+		agg := tp.SegmentAttention(score, h, seg, nodes)
+		loss := tp.MeanAll(tp.Mul(agg, agg))
+		opt.ZeroGrad()
+		tp.Backward(loss)
+		opt.Step()
+	}
+}
+
+// BenchmarkTapeReuseForwardBackward measures the zero-allocation steady
+// state: a full forward/backward/optimizer step on a reused tape. Serial
+// workers — parallel dispatch itself spawns goroutines. Expect 0 allocs/op
+// (TestTapeReuseZeroAllocs holds the hard assertion).
+func BenchmarkTapeReuseForwardBackward(b *testing.B) {
+	restore := par.SetWorkers(1)
+	defer restore()
+	step := benchTapeStep(true)
+	step()
+	step() // two warm-up steps fill every free-list to steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkTapeFreshForwardBackward is the fresh-tape-per-step comparison
+// point for BenchmarkTapeReuseForwardBackward.
+func BenchmarkTapeFreshForwardBackward(b *testing.B) {
+	restore := par.SetWorkers(1)
+	defer restore()
+	step := benchTapeStep(false)
+	step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

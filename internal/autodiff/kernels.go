@@ -1,6 +1,11 @@
 package autodiff
 
-import "sate/internal/par"
+import (
+	"math"
+	"sync"
+
+	"sate/internal/par"
+)
 
 // This file holds the dense matrix kernels shared by the MatMul/MatMulT
 // forward and backward passes. All three are row-parallel over the output:
@@ -8,11 +13,21 @@ import "sate/internal/par"
 // write state and no gradient merge — results are bitwise identical to the
 // serial loops for every worker count (see the package par contract).
 //
+// The kernels are cache-blocked for L1/L2 locality: output rows are
+// processed in tiles of gemmRowTile (so a row of b is reused across several
+// rows of a while it is hot), and the j dimension in blocks of gemmColBlock
+// float64s (≈2KB, comfortably L1-resident together with the accumulator
+// rows). Blocking only reorders WHICH (i, j) cell is touched when; for any
+// single output element the terms are still added in increasing p, so the
+// result is bitwise identical to the unblocked axpy loop.
+//
 // The accumulate flag selects between out = product (forward) and
 // out += product (backward gradient accumulation). In accumulate mode each
 // output row's contribution is summed into a zeroed scratch row first and
 // added to out in one pass, preserving the exact floating-point order of
-// the original compute-s-then-add backward loops.
+// the original compute-s-then-add backward loops. Scratch rows come from a
+// process-wide sync.Pool (chunks may run on pool goroutines, so they cannot
+// touch the single-threaded tape arena).
 
 // kernelFlopTarget is the minimum number of multiply-adds a chunk should
 // carry so goroutine dispatch stays negligible.
@@ -22,6 +37,13 @@ const kernelFlopTarget = 1 << 15
 // per-row ops (softmax, scatter): small enough to spread GAT-sized inputs
 // across cores, large enough to amortise dispatch.
 const segGrainMin = 64
+
+// gemmRowTile is how many output rows a kernel processes together, sharing
+// each streamed row of b across all of them.
+const gemmRowTile = 4
+
+// gemmColBlock is the j-dimension block width in float64s.
+const gemmColBlock = 256
 
 // rowGrain picks the par grain for a kernel over rows where each row costs
 // about rowCost multiply-adds.
@@ -33,129 +55,302 @@ func rowGrain(rows, rowCost int) int {
 	return par.Grain(rows, min)
 }
 
+// scratchPool recycles per-chunk accumulator rows. Entries are *[]float64
+// (not []float64) so Get/Put avoid an interface-boxing allocation.
+var scratchPool sync.Pool
+
+func getScratch(n int) *[]float64 {
+	if p, _ := scratchPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	s := make([]float64, n)
+	return &s
+}
+
+func putScratch(p *[]float64) { scratchPool.Put(p) }
+
+// gemmArgs carries one kernel launch's operands into the static chunk
+// functions (closure-free: see par.ForCtx).
+type gemmArgs struct {
+	out, a, b  *Tensor
+	accumulate bool
+}
+
 // gemm computes out (+)= a @ b (a: m x k, b: k x n, out: m x n). When
 // accumulate is false the caller must pass a zero-initialised out (all
-// callers hand it a fresh tensor); rows are accumulated in place.
+// callers hand it an arena-zeroed tensor); rows are accumulated in place.
 func gemm(out, a, b *Tensor, accumulate bool) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	par.For(m, rowGrain(m, k*n), func(lo, hi int) {
-		var acc []float64
-		if accumulate {
-			acc = make([]float64, n)
+	par.ForCtx(m, rowGrain(m, k*n), gemmArgs{out, a, b, accumulate}, gemmChunk)
+}
+
+func gemmChunk(g gemmArgs, lo, hi int) {
+	a, b, out := g.a, g.b, g.out
+	k, n := a.Cols, b.Cols
+	var acc []float64
+	if g.accumulate {
+		p := getScratch(gemmRowTile * n)
+		defer putScratch(p)
+		acc = *p
+	}
+	for i0 := lo; i0 < hi; i0 += gemmRowTile {
+		i1 := i0 + gemmRowTile
+		if i1 > hi {
+			i1 = hi
 		}
-		for i := lo; i < hi; i++ {
-			ra := a.Data[i*k : (i+1)*k]
-			ro := out.Data[i*n : (i+1)*n]
-			dst := ro
-			if accumulate {
-				for j := range acc {
-					acc[j] = 0
-				}
-				dst = acc
+		rows := i1 - i0
+		// Destination rows: out directly, or zeroed scratch when
+		// accumulating (folded into out once at the end).
+		var dst [gemmRowTile][]float64
+		for r := 0; r < rows; r++ {
+			if g.accumulate {
+				dst[r] = acc[r*n : (r+1)*n]
+				clear(dst[r])
+			} else {
+				dst[r] = out.Data[(i0+r)*n : (i0+r+1)*n]
+			}
+		}
+		for j0 := 0; j0 < n; j0 += gemmColBlock {
+			j1 := j0 + gemmColBlock
+			if j1 > n {
+				j1 = n
 			}
 			for p := 0; p < k; p++ {
-				av := ra[p]
-				if av == 0 && !accumulate {
-					// Skip-zero only on the forward path (sparse inputs are
-					// common there); the backward path keeps every term so
-					// non-finite gradients propagate exactly as the direct
-					// dot-product form would.
-					continue
-				}
-				rb := b.Data[p*n : (p+1)*n]
-				for j := range dst {
-					dst[j] += av * rb[j]
-				}
-			}
-			if accumulate {
-				for j := range ro {
-					ro[j] += acc[j]
+				rb := b.Data[p*n+j0 : p*n+j1]
+				for r := 0; r < rows; r++ {
+					av := a.Data[(i0+r)*k+p]
+					if av == 0 && !g.accumulate {
+						// Skip-zero only on the forward path (sparse inputs
+						// are common there); the backward path keeps every
+						// term so non-finite gradients propagate exactly as
+						// the direct dot-product form would.
+						continue
+					}
+					d := dst[r][j0:j1]
+					for j, bv := range rb {
+						d[j] += av * bv
+					}
 				}
 			}
 		}
-	})
+		if g.accumulate {
+			for r := 0; r < rows; r++ {
+				ro := out.Data[(i0+r)*n : (i0+r+1)*n]
+				for j, v := range acc[r*n : (r+1)*n] {
+					ro[j] += v
+				}
+			}
+		}
+	}
 }
 
 // gemmBT computes out (+)= a @ b^T (a: m x k, b: n x k, out: m x n) without
 // materialising the transpose: entry (i, j) is the dot product of row i of a
-// and row j of b, both contiguous.
+// and row j of b, both contiguous. Row-tiled so each row of b is reused
+// across gemmRowTile rows of a.
 func gemmBT(out, a, b *Tensor, accumulate bool) {
 	m, k, n := a.Rows, a.Cols, b.Rows
-	par.For(m, rowGrain(m, k*n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ra := a.Data[i*k : (i+1)*k]
-			ro := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				rb := b.Data[j*k : (j+1)*k]
+	par.ForCtx(m, rowGrain(m, k*n), gemmArgs{out, a, b, accumulate}, gemmBTChunk)
+}
+
+func gemmBTChunk(g gemmArgs, lo, hi int) {
+	a, b, out := g.a, g.b, g.out
+	k, n := a.Cols, b.Rows
+	for i0 := lo; i0 < hi; i0 += gemmRowTile {
+		i1 := i0 + gemmRowTile
+		if i1 > hi {
+			i1 = hi
+		}
+		for j := 0; j < n; j++ {
+			rb := b.Data[j*k : (j+1)*k]
+			for i := i0; i < i1; i++ {
+				ra := a.Data[i*k : (i+1)*k]
 				var s float64
-				for p := 0; p < k; p++ {
-					s += ra[p] * rb[p]
+				for p, bv := range rb {
+					s += ra[p] * bv
 				}
-				if accumulate {
-					ro[j] += s
+				if g.accumulate {
+					out.Data[i*n+j] += s
 				} else {
-					ro[j] = s
+					out.Data[i*n+j] = s
 				}
 			}
 		}
-	})
+	}
 }
 
 // gemmAT computes out (+)= a^T @ b (a: m x k, b: m x n, out: k x n). Rather
-// than striding down a's columns per output entry, each output row i
-// accumulates a[r][i] * b[r] across r into a scratch row (same term order as
-// the per-entry dot product), then folds into out in one pass.
+// than striding down a's columns per output entry, a tile of output rows
+// accumulates a[r][i] * b[r] across r into scratch rows (same term order as
+// the per-entry dot product), streaming b once per tile, then folds into out
+// in one pass.
 func gemmAT(out, a, b *Tensor, accumulate bool) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	par.For(k, rowGrain(k, m*n), func(lo, hi int) {
-		acc := make([]float64, n)
-		for i := lo; i < hi; i++ {
-			for j := range acc {
-				acc[j] = 0
-			}
-			for r := 0; r < m; r++ {
-				av := a.Data[r*k+i]
-				rb := b.Data[r*n : (r+1)*n]
-				for j := range acc {
-					acc[j] += av * rb[j]
+	par.ForCtx(k, rowGrain(k, m*n), gemmArgs{out, a, b, accumulate}, gemmATChunk)
+}
+
+func gemmATChunk(g gemmArgs, lo, hi int) {
+	a, b, out := g.a, g.b, g.out
+	m, k, n := a.Rows, a.Cols, b.Cols
+	p := getScratch(gemmRowTile * n)
+	defer putScratch(p)
+	acc := *p
+	for i0 := lo; i0 < hi; i0 += gemmRowTile {
+		i1 := i0 + gemmRowTile
+		if i1 > hi {
+			i1 = hi
+		}
+		rows := i1 - i0
+		clear(acc[:rows*n])
+		for r := 0; r < m; r++ {
+			rb := b.Data[r*n : (r+1)*n]
+			ra := a.Data[r*k : (r+1)*k]
+			for t := 0; t < rows; t++ {
+				av := ra[i0+t]
+				accRow := acc[t*n : (t+1)*n]
+				for j, bv := range rb {
+					accRow[j] += av * bv
 				}
-			}
-			ro := out.Data[i*n : (i+1)*n]
-			if accumulate {
-				for j := range ro {
-					ro[j] += acc[j]
-				}
-			} else {
-				copy(ro, acc)
 			}
 		}
-	})
+		for t := 0; t < rows; t++ {
+			ro := out.Data[(i0+t)*n : (i0+t+1)*n]
+			accRow := acc[t*n : (t+1)*n]
+			if g.accumulate {
+				for j, v := range accRow {
+					ro[j] += v
+				}
+			} else {
+				copy(ro, accRow)
+			}
+		}
+	}
 }
 
 // segmentIndex groups the rows 0..n-1 by segment id, preserving row order
 // within each segment: rows[off[s]:off[s+1]] lists the rows of segment s in
 // increasing order. It lets the segment ops run segment-parallel (each
 // segment owned by one chunk) while keeping the exact accumulation order of
-// the serial row sweep.
+// the serial row sweep. Storage comes from the tape arena (valid until the
+// next Reset).
 type segmentIndex struct {
 	off  []int
 	rows []int
 }
 
-func buildSegmentIndex(seg []int, nSeg int) segmentIndex {
-	off := make([]int, nSeg+1)
+func buildSegmentIndex(tp *Tape, seg []int, nSeg int) segmentIndex {
+	off := tp.arena.ints.takeZeroed(nSeg + 1)
 	for _, s := range seg {
 		off[s+1]++
 	}
 	for s := 0; s < nSeg; s++ {
 		off[s+1] += off[s]
 	}
-	rows := make([]int, len(seg))
-	pos := make([]int, nSeg)
+	rows := tp.arena.ints.take(len(seg))
+	pos := tp.arena.ints.take(nSeg)
 	copy(pos, off[:nSeg])
 	for i, s := range seg {
 		rows[pos[s]] = i
 		pos[s]++
 	}
 	return segmentIndex{off: off, rows: rows}
+}
+
+// segSoftmaxArgs drives the segment-parallel softmax chunks: forward
+// normalises each segment of x into out; backward applies the softmax
+// Jacobian (ga += out * (g - <g, out>_segment)).
+type segSoftmaxArgs struct {
+	x, out, g, ga []float64
+	sidx          segmentIndex
+}
+
+// segmentSoftmaxForward computes the grouped softmax of x (n x 1, groups by
+// seg) into out. It returns the segment index when the parallel path built
+// one — callers stash it for backward — and the zero segmentIndex on the
+// serial path. Segment-parallel: every segment's rows are owned by exactly
+// one chunk and visited in increasing row order, so the max/sum/normalise
+// pass performs the same floating-point operations as the serial row sweep —
+// bitwise identical for every worker count. When one chunk would run anyway,
+// the cache-friendly linear sweep skips the index build.
+func segmentSoftmaxForward(tp *Tape, out, x *Tensor, seg []int, nSeg int) segmentIndex {
+	n := x.Rows
+	grain := par.Grain(nSeg, segGrainMin)
+	if par.NumChunks(nSeg, grain) <= 1 {
+		maxv := tp.arena.f64s.take(nSeg)
+		for i := range maxv {
+			maxv[i] = math.Inf(-1)
+		}
+		for i := 0; i < n; i++ {
+			if x.Data[i] > maxv[seg[i]] {
+				maxv[seg[i]] = x.Data[i]
+			}
+		}
+		sum := tp.arena.f64s.takeZeroed(nSeg)
+		for i := 0; i < n; i++ {
+			out.Data[i] = math.Exp(x.Data[i] - maxv[seg[i]])
+			sum[seg[i]] += out.Data[i]
+		}
+		for i := 0; i < n; i++ {
+			out.Data[i] /= sum[seg[i]]
+		}
+		return segmentIndex{}
+	}
+	sidx := buildSegmentIndex(tp, seg, nSeg)
+	par.ForCtx(nSeg, grain, segSoftmaxArgs{x: x.Data, out: out.Data, sidx: sidx}, segSoftmaxFwdChunk)
+	return sidx
+}
+
+func segSoftmaxFwdChunk(a segSoftmaxArgs, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		rows := a.sidx.rows[a.sidx.off[s]:a.sidx.off[s+1]]
+		mx := math.Inf(-1)
+		for _, i := range rows {
+			if a.x[i] > mx {
+				mx = a.x[i]
+			}
+		}
+		var sum float64
+		for _, i := range rows {
+			a.out[i] = math.Exp(a.x[i] - mx)
+			sum += a.out[i]
+		}
+		for _, i := range rows {
+			a.out[i] /= sum
+		}
+	}
+}
+
+// segmentSoftmaxBackward accumulates the grouped-softmax gradient into ga:
+// ga_i += out_i * (g_i - sum_{j in seg(i)} g_j out_j). sidx may be the zero
+// segmentIndex; it is built on demand if the parallel path runs.
+func segmentSoftmaxBackward(tp *Tape, ga, out, g []float64, seg []int, nSeg int, sidx segmentIndex) {
+	grain := par.Grain(nSeg, segGrainMin)
+	if par.NumChunks(nSeg, grain) <= 1 {
+		dot := tp.arena.f64s.takeZeroed(nSeg)
+		for i, s := range seg {
+			dot[s] += g[i] * out[i]
+		}
+		for i, s := range seg {
+			ga[i] += out[i] * (g[i] - dot[s])
+		}
+		return
+	}
+	if sidx.off == nil {
+		sidx = buildSegmentIndex(tp, seg, nSeg)
+	}
+	par.ForCtx(nSeg, grain, segSoftmaxArgs{out: out, g: g, ga: ga, sidx: sidx}, segSoftmaxBackChunk)
+}
+
+func segSoftmaxBackChunk(a segSoftmaxArgs, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		rows := a.sidx.rows[a.sidx.off[s]:a.sidx.off[s+1]]
+		var dot float64
+		for _, i := range rows {
+			dot += a.g[i] * a.out[i]
+		}
+		for _, i := range rows {
+			a.ga[i] += a.out[i] * (a.g[i] - dot)
+		}
+	}
 }

@@ -7,11 +7,21 @@ import (
 	"sate/internal/par"
 )
 
+// All ops follow the same allocation discipline (DESIGN.md §8): result,
+// gradient and scratch storage comes from the tape arena, and the backward
+// pass is a static function over the node's stashed state (src0/src1/...,
+// idx, scalars) rather than a closure — so issuing an op performs no heap
+// allocation once the arena is warm. Parallel chunks run through par.ForCtx
+// with static chunk functions for the same reason.
+
 func assertSameShape(op string, a, b *Tensor) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("autodiff: %s shape mismatch %s vs %s", op, a.shape(), b.shape()))
 	}
 }
+
+// elemGrain is the chunk grain for elementwise kernels over n scalars.
+func elemGrain(n int) int { return par.Grain(n, kernelFlopTarget) }
 
 // MatMul returns a @ b. Forward and backward are row-parallel (see
 // kernels.go); the backward pass writes disjoint gradient rows, so no merge
@@ -20,85 +30,147 @@ func (tp *Tape) MatMul(a, b *Value) *Value {
 	if a.Val.Cols != b.Val.Rows {
 		panic(fmt.Sprintf("autodiff: matmul %s @ %s", a.Val.shape(), b.Val.shape()))
 	}
-	out := NewTensor(a.Val.Rows, b.Val.Cols)
-	gemm(out, a.Val, b.Val, false)
-	v := tp.node(out, nil)
-	v.back = func() {
-		gemmBT(a.Grad, v.Grad, b.Val, true) // dA += dOut @ B^T
-		gemmAT(b.Grad, a.Val, v.Grad, true) // dB += A^T @ dOut
-	}
+	v := tp.newNode(a.Val.Rows, b.Val.Cols, matMulBack)
+	v.src0, v.src1 = a, b
+	gemm(v.Val, a.Val, b.Val, false)
 	return v
+}
+
+func matMulBack(v *Value) {
+	a, b := v.src0, v.src1
+	gemmBT(a.Grad, v.Grad, b.Val, true) // dA += dOut @ B^T
+	gemmAT(b.Grad, a.Val, v.Grad, true) // dB += A^T @ dOut
+}
+
+// MatMulT returns a @ b^T (a: m x k, b: n x k -> m x n). It routes through
+// the same parallel kernels as MatMul: gemmBT forward (no transpose is
+// materialised), gemm/gemmAT backward.
+func (tp *Tape) MatMulT(a, b *Value) *Value {
+	if a.Val.Cols != b.Val.Cols {
+		panic(fmt.Sprintf("autodiff: matmulT %s @ %sT", a.Val.shape(), b.Val.shape()))
+	}
+	v := tp.newNode(a.Val.Rows, b.Val.Rows, matMulTBack)
+	v.src0, v.src1 = a, b
+	gemmBT(v.Val, a.Val, b.Val, false)
+	return v
+}
+
+func matMulTBack(v *Value) {
+	a, b := v.src0, v.src1
+	gemm(a.Grad, v.Grad, b.Val, true)   // dA += dOut @ B
+	gemmAT(b.Grad, v.Grad, a.Val, true) // dB += dOut^T @ A
 }
 
 // Add returns a + b (same shape).
 func (tp *Tape) Add(a, b *Value) *Value {
 	assertSameShape("add", a.Val, b.Val)
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	par.For(len(out.Data), par.Grain(len(out.Data), kernelFlopTarget), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Val.Data[i] + b.Val.Data[i]
-		}
-	})
-	v := tp.node(out, nil)
-	v.back = func() {
-		par.For(len(v.Grad.Data), par.Grain(len(v.Grad.Data), kernelFlopTarget), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				g := v.Grad.Data[i]
-				a.Grad.Data[i] += g
-				b.Grad.Data[i] += g
-			}
-		})
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, addBack)
+	v.src0, v.src1 = a, b
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, addFwdChunk)
 	return v
+}
+
+func addFwdChunk(v *Value, lo, hi int) {
+	o, x, y := v.Val.Data, v.src0.Val.Data, v.src1.Val.Data
+	for i := lo; i < hi; i++ {
+		o[i] = x[i] + y[i]
+	}
+}
+
+func addBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, addBackChunk)
+}
+
+func addBackChunk(v *Value, lo, hi int) {
+	g, ga, gb := v.Grad.Data, v.src0.Grad.Data, v.src1.Grad.Data
+	for i := lo; i < hi; i++ {
+		ga[i] += g[i]
+		gb[i] += g[i]
+	}
 }
 
 // Sub returns a - b.
 func (tp *Tape) Sub(a, b *Value) *Value {
 	assertSameShape("sub", a.Val, b.Val)
-	out := a.Val.Clone()
-	for i, v := range b.Val.Data {
-		out.Data[i] -= v
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			a.Grad.Data[i] += g
-			b.Grad.Data[i] -= g
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, subBack)
+	v.src0, v.src1 = a, b
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, subFwdChunk)
 	return v
+}
+
+func subFwdChunk(v *Value, lo, hi int) {
+	o, x, y := v.Val.Data, v.src0.Val.Data, v.src1.Val.Data
+	for i := lo; i < hi; i++ {
+		o[i] = x[i] - y[i]
+	}
+}
+
+func subBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, subBackChunk)
+}
+
+func subBackChunk(v *Value, lo, hi int) {
+	g, ga, gb := v.Grad.Data, v.src0.Grad.Data, v.src1.Grad.Data
+	for i := lo; i < hi; i++ {
+		ga[i] += g[i]
+		gb[i] -= g[i]
+	}
 }
 
 // Mul returns the elementwise product.
 func (tp *Tape) Mul(a, b *Value) *Value {
 	assertSameShape("mul", a.Val, b.Val)
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i := range out.Data {
-		out.Data[i] = a.Val.Data[i] * b.Val.Data[i]
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			a.Grad.Data[i] += g * b.Val.Data[i]
-			b.Grad.Data[i] += g * a.Val.Data[i]
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, mulBack)
+	v.src0, v.src1 = a, b
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, mulFwdChunk)
 	return v
+}
+
+func mulFwdChunk(v *Value, lo, hi int) {
+	o, x, y := v.Val.Data, v.src0.Val.Data, v.src1.Val.Data
+	for i := lo; i < hi; i++ {
+		o[i] = x[i] * y[i]
+	}
+}
+
+func mulBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, mulBackChunk)
+}
+
+func mulBackChunk(v *Value, lo, hi int) {
+	g := v.Grad.Data
+	x, y := v.src0.Val.Data, v.src1.Val.Data
+	ga, gb := v.src0.Grad.Data, v.src1.Grad.Data
+	for i := lo; i < hi; i++ {
+		ga[i] += g[i] * y[i]
+		gb[i] += g[i] * x[i]
+	}
 }
 
 // Scale returns a * s for scalar s.
 func (tp *Tape) Scale(a *Value, s float64) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		out.Data[i] = x * s
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			a.Grad.Data[i] += g * s
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, scaleBack)
+	v.src0, v.s0 = a, s
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, scaleFwdChunk)
 	return v
+}
+
+func scaleFwdChunk(v *Value, lo, hi int) {
+	o, x, s := v.Val.Data, v.src0.Val.Data, v.s0
+	for i := lo; i < hi; i++ {
+		o[i] = x[i] * s
+	}
+}
+
+func scaleBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, scaleBackChunk)
+}
+
+func scaleBackChunk(v *Value, lo, hi int) {
+	g, ga, s := v.Grad.Data, v.src0.Grad.Data, v.s0
+	for i := lo; i < hi; i++ {
+		ga[i] += g[i] * s
+	}
 }
 
 // AddRowBroadcast returns a + b where b is 1 x cols, added to every row of a.
@@ -106,24 +178,34 @@ func (tp *Tape) AddRowBroadcast(a, b *Value) *Value {
 	if b.Val.Rows != 1 || b.Val.Cols != a.Val.Cols {
 		panic(fmt.Sprintf("autodiff: row broadcast %s + %s", a.Val.shape(), b.Val.shape()))
 	}
-	out := a.Val.Clone()
-	for r := 0; r < a.Val.Rows; r++ {
-		for c := 0; c < a.Val.Cols; c++ {
-			out.Data[r*a.Val.Cols+c] += b.Val.Data[c]
-		}
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		cols := a.Val.Cols
-		for r := 0; r < a.Val.Rows; r++ {
-			for c := 0; c < cols; c++ {
-				g := v.Grad.Data[r*cols+c]
-				a.Grad.Data[r*cols+c] += g
-				b.Grad.Data[c] += g
-			}
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, addRowBroadcastBack)
+	v.src0, v.src1 = a, b
+	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, addRowBroadcastFwdChunk)
 	return v
+}
+
+func addRowBroadcastFwdChunk(v *Value, lo, hi int) {
+	cols := v.Val.Cols
+	x, bias, o := v.src0.Val.Data, v.src1.Val.Data, v.Val.Data
+	for r := lo; r < hi; r++ {
+		for c := 0; c < cols; c++ {
+			o[r*cols+c] = x[r*cols+c] + bias[c]
+		}
+	}
+}
+
+// addRowBroadcastBack is serial: the bias gradient accumulates across every
+// row, and the fixed row-major order is part of the determinism contract.
+func addRowBroadcastBack(v *Value) {
+	a, b := v.src0, v.src1
+	cols := a.Val.Cols
+	for r := 0; r < a.Val.Rows; r++ {
+		for c := 0; c < cols; c++ {
+			g := v.Grad.Data[r*cols+c]
+			a.Grad.Data[r*cols+c] += g
+			b.Grad.Data[c] += g
+		}
+	}
 }
 
 // MulColBroadcast returns rows of a scaled by the column vector s (rows x 1).
@@ -131,61 +213,75 @@ func (tp *Tape) MulColBroadcast(a, s *Value) *Value {
 	if s.Val.Cols != 1 || s.Val.Rows != a.Val.Rows {
 		panic(fmt.Sprintf("autodiff: col broadcast %s * %s", a.Val.shape(), s.Val.shape()))
 	}
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	cols := a.Val.Cols
-	par.For(a.Val.Rows, rowGrain(a.Val.Rows, cols), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			f := s.Val.Data[r]
-			for c := 0; c < cols; c++ {
-				out.Data[r*cols+c] = a.Val.Data[r*cols+c] * f
-			}
-		}
-	})
-	v := tp.node(out, nil)
-	v.back = func() {
-		// Row-parallel: chunk r owns row r of a.Grad and entry r of s.Grad.
-		par.For(a.Val.Rows, rowGrain(a.Val.Rows, cols), func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				f := s.Val.Data[r]
-				var dot float64
-				for c := 0; c < cols; c++ {
-					g := v.Grad.Data[r*cols+c]
-					a.Grad.Data[r*cols+c] += g * f
-					dot += g * a.Val.Data[r*cols+c]
-				}
-				s.Grad.Data[r] += dot
-			}
-		})
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, mulColBroadcastBack)
+	v.src0, v.src1 = a, s
+	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, mulColBroadcastFwdChunk)
 	return v
+}
+
+func mulColBroadcastFwdChunk(v *Value, lo, hi int) {
+	cols := v.Val.Cols
+	x, s, o := v.src0.Val.Data, v.src1.Val.Data, v.Val.Data
+	for r := lo; r < hi; r++ {
+		f := s[r]
+		for c := 0; c < cols; c++ {
+			o[r*cols+c] = x[r*cols+c] * f
+		}
+	}
+}
+
+func mulColBroadcastBack(v *Value) {
+	// Row-parallel: chunk r owns row r of a.Grad and entry r of s.Grad.
+	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.Val.Cols), v, mulColBroadcastBackChunk)
+}
+
+func mulColBroadcastBackChunk(v *Value, lo, hi int) {
+	a, s := v.src0, v.src1
+	cols := v.Val.Cols
+	for r := lo; r < hi; r++ {
+		f := s.Val.Data[r]
+		var dot float64
+		for c := 0; c < cols; c++ {
+			g := v.Grad.Data[r*cols+c]
+			a.Grad.Data[r*cols+c] += g * f
+			dot += g * a.Val.Data[r*cols+c]
+		}
+		s.Grad.Data[r] += dot
+	}
 }
 
 // LeakyReLU applies max(x, slope*x) elementwise.
 func (tp *Tape) LeakyReLU(a *Value, slope float64) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	par.For(len(out.Data), par.Grain(len(out.Data), kernelFlopTarget), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if x := a.Val.Data[i]; x >= 0 {
-				out.Data[i] = x
-			} else {
-				out.Data[i] = slope * x
-			}
-		}
-	})
-	v := tp.node(out, nil)
-	v.back = func() {
-		par.For(len(v.Grad.Data), par.Grain(len(v.Grad.Data), kernelFlopTarget), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				g := v.Grad.Data[i]
-				if a.Val.Data[i] >= 0 {
-					a.Grad.Data[i] += g
-				} else {
-					a.Grad.Data[i] += g * slope
-				}
-			}
-		})
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, leakyReLUBack)
+	v.src0, v.s0 = a, slope
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, leakyReLUFwdChunk)
 	return v
+}
+
+func leakyReLUFwdChunk(v *Value, lo, hi int) {
+	o, x, slope := v.Val.Data, v.src0.Val.Data, v.s0
+	for i := lo; i < hi; i++ {
+		if xv := x[i]; xv >= 0 {
+			o[i] = xv
+		} else {
+			o[i] = slope * xv
+		}
+	}
+}
+
+func leakyReLUBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, leakyReLUBackChunk)
+}
+
+func leakyReLUBackChunk(v *Value, lo, hi int) {
+	g, x, ga, slope := v.Grad.Data, v.src0.Val.Data, v.src0.Grad.Data, v.s0
+	for i := lo; i < hi; i++ {
+		if x[i] >= 0 {
+			ga[i] += g[i]
+		} else {
+			ga[i] += g[i] * slope
+		}
+	}
 }
 
 // ReLU applies max(x, 0).
@@ -193,66 +289,146 @@ func (tp *Tape) ReLU(a *Value) *Value { return tp.LeakyReLU(a, 0) }
 
 // Sigmoid applies 1/(1+exp(-x)) elementwise.
 func (tp *Tape) Sigmoid(a *Value) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		out.Data[i] = 1 / (1 + math.Exp(-x))
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			y := out.Data[i]
-			a.Grad.Data[i] += g * y * (1 - y)
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, sigmoidBack)
+	v.src0 = a
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, sigmoidFwdChunk)
 	return v
+}
+
+func sigmoidFwdChunk(v *Value, lo, hi int) {
+	o, x := v.Val.Data, v.src0.Val.Data
+	for i := lo; i < hi; i++ {
+		o[i] = 1 / (1 + math.Exp(-x[i]))
+	}
+}
+
+func sigmoidBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, sigmoidBackChunk)
+}
+
+func sigmoidBackChunk(v *Value, lo, hi int) {
+	g, o, ga := v.Grad.Data, v.Val.Data, v.src0.Grad.Data
+	for i := lo; i < hi; i++ {
+		y := o[i]
+		ga[i] += g[i] * y * (1 - y)
+	}
 }
 
 // Tanh applies tanh elementwise.
 func (tp *Tape) Tanh(a *Value) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		out.Data[i] = math.Tanh(x)
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			y := out.Data[i]
-			a.Grad.Data[i] += g * (1 - y*y)
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, tanhBack)
+	v.src0 = a
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, tanhFwdChunk)
 	return v
+}
+
+func tanhFwdChunk(v *Value, lo, hi int) {
+	o, x := v.Val.Data, v.src0.Val.Data
+	for i := lo; i < hi; i++ {
+		o[i] = math.Tanh(x[i])
+	}
+}
+
+func tanhBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, tanhBackChunk)
+}
+
+func tanhBackChunk(v *Value, lo, hi int) {
+	g, o, ga := v.Grad.Data, v.Val.Data, v.src0.Grad.Data
+	for i := lo; i < hi; i++ {
+		y := o[i]
+		ga[i] += g[i] * (1 - y*y)
+	}
 }
 
 // Exp applies exp elementwise.
 func (tp *Tape) Exp(a *Value) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		out.Data[i] = math.Exp(x)
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			a.Grad.Data[i] += g * out.Data[i]
-		}
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, expBack)
+	v.src0 = a
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, expFwdChunk)
 	return v
+}
+
+func expFwdChunk(v *Value, lo, hi int) {
+	o, x := v.Val.Data, v.src0.Val.Data
+	for i := lo; i < hi; i++ {
+		o[i] = math.Exp(x[i])
+	}
+}
+
+func expBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, expBackChunk)
+}
+
+func expBackChunk(v *Value, lo, hi int) {
+	g, o, ga := v.Grad.Data, v.Val.Data, v.src0.Grad.Data
+	for i := lo; i < hi; i++ {
+		ga[i] += g[i] * o[i]
+	}
 }
 
 // ClampMax applies min(x, c) elementwise (gradient 0 where clamped).
 func (tp *Tape) ClampMax(a *Value, c float64) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		out.Data[i] = math.Min(x, c)
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, clampMaxBack)
+	v.src0, v.s0 = a, c
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, clampMaxFwdChunk)
+	return v
+}
+
+func clampMaxFwdChunk(v *Value, lo, hi int) {
+	o, x, c := v.Val.Data, v.src0.Val.Data, v.s0
+	for i := lo; i < hi; i++ {
+		o[i] = math.Min(x[i], c)
 	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			if a.Val.Data[i] < c {
-				a.Grad.Data[i] += g
-			}
+}
+
+func clampMaxBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, clampMaxBackChunk)
+}
+
+func clampMaxBackChunk(v *Value, lo, hi int) {
+	g, x, ga, c := v.Grad.Data, v.src0.Val.Data, v.src0.Grad.Data, v.s0
+	for i := lo; i < hi; i++ {
+		if x[i] < c {
+			ga[i] += g[i]
 		}
 	}
+}
+
+// SoftClamp limits values to [lo, hi] with a residual slope outside the
+// band: y = clamp(x) + slope*(x - clamp(x)). Unlike a hard clamp the
+// gradient never vanishes (slope outside, 1 inside), so downstream
+// saturating nonlinearities (e.g. sigmoid gates) can always recover.
+func (tp *Tape) SoftClamp(a *Value, lo, hi, slope float64) *Value {
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, softClampBack)
+	v.src0, v.s0, v.s1, v.s2 = a, lo, hi, slope
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, softClampFwdChunk)
 	return v
+}
+
+func softClampFwdChunk(v *Value, lo, hi int) {
+	o, x := v.Val.Data, v.src0.Val.Data
+	cl, ch, slope := v.s0, v.s1, v.s2
+	for i := lo; i < hi; i++ {
+		c := math.Max(cl, math.Min(ch, x[i]))
+		o[i] = c + slope*(x[i]-c)
+	}
+}
+
+func softClampBack(v *Value) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, softClampBackChunk)
+}
+
+func softClampBackChunk(v *Value, lo, hi int) {
+	g, x, ga := v.Grad.Data, v.src0.Val.Data, v.src0.Grad.Data
+	cl, ch, slope := v.s0, v.s1, v.s2
+	for i := lo; i < hi; i++ {
+		if x[i] < cl || x[i] > ch {
+			ga[i] += g[i] * slope
+		} else {
+			ga[i] += g[i]
+		}
+	}
 }
 
 // Concat joins tensors along columns (same row count).
@@ -265,74 +441,100 @@ func (tp *Tape) Concat(parts ...*Value) *Value {
 		}
 		total += p.Val.Cols
 	}
-	out := NewTensor(rows, total)
+	v := tp.newNode(rows, total, concatBack)
+	v.srcs = tp.arena.vals.take(len(parts))
+	copy(v.srcs, parts)
 	// Row-parallel: each chunk copies whole output rows, all parts at once.
-	par.For(rows, rowGrain(rows, total), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			off := 0
-			for _, p := range parts {
-				c := p.Val.Cols
-				copy(out.Data[r*total+off:r*total+off+c], p.Val.Data[r*c:(r+1)*c])
-				off += c
-			}
-		}
-	})
-	v := tp.node(out, nil)
-	v.back = func() {
-		par.For(rows, rowGrain(rows, total), func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				off := 0
-				for _, p := range parts {
-					c := p.Val.Cols
-					for j := 0; j < c; j++ {
-						p.Grad.Data[r*c+j] += v.Grad.Data[r*total+off+j]
-					}
-					off += c
-				}
-			}
-		})
-	}
+	par.ForCtx(rows, rowGrain(rows, total), v, concatFwdChunk)
 	return v
+}
+
+func concatFwdChunk(v *Value, lo, hi int) {
+	total := v.Val.Cols
+	for r := lo; r < hi; r++ {
+		off := 0
+		for _, p := range v.srcs {
+			c := p.Val.Cols
+			copy(v.Val.Data[r*total+off:r*total+off+c], p.Val.Data[r*c:(r+1)*c])
+			off += c
+		}
+	}
+}
+
+func concatBack(v *Value) {
+	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.Val.Cols), v, concatBackChunk)
+}
+
+func concatBackChunk(v *Value, lo, hi int) {
+	total := v.Val.Cols
+	for r := lo; r < hi; r++ {
+		off := 0
+		for _, p := range v.srcs {
+			c := p.Val.Cols
+			for j := 0; j < c; j++ {
+				p.Grad.Data[r*c+j] += v.Grad.Data[r*total+off+j]
+			}
+			off += c
+		}
+	}
 }
 
 // Gather selects rows of a by index: out[i] = a[idx[i]].
 func (tp *Tape) Gather(a *Value, idx []int) *Value {
 	cols := a.Val.Cols
-	out := NewTensor(len(idx), cols)
-	par.For(len(idx), rowGrain(len(idx), cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			r := idx[i]
-			copy(out.Data[i*cols:(i+1)*cols], a.Val.Data[r*cols:(r+1)*cols])
-		}
-	})
-	v := tp.node(out, nil)
-	v.back = func() {
-		// idx may repeat rows, so the parallel backward scatter groups
-		// gather positions by source row: chunk r owns row r of a.Grad and
-		// folds its positions in increasing i — the serial sweep's order.
-		aRows := a.Val.Rows
-		if grain := par.Grain(aRows, segGrainMin); par.NumChunks(aRows, grain) <= 1 {
-			for i, r := range idx {
-				for j := 0; j < cols; j++ {
-					a.Grad.Data[r*cols+j] += v.Grad.Data[i*cols+j]
-				}
+	v := tp.newNode(len(idx), cols, gatherBack)
+	v.src0, v.idx = a, idx
+	par.ForCtx(len(idx), rowGrain(len(idx), cols), v, gatherFwdChunk)
+	return v
+}
+
+func gatherFwdChunk(v *Value, lo, hi int) {
+	cols := v.Val.Cols
+	src := v.src0.Val.Data
+	for i := lo; i < hi; i++ {
+		r := v.idx[i]
+		copy(v.Val.Data[i*cols:(i+1)*cols], src[r*cols:(r+1)*cols])
+	}
+}
+
+func gatherBack(v *Value) {
+	// idx may repeat rows, so the parallel backward scatter groups gather
+	// positions by source row: chunk r owns row r of a.Grad and folds its
+	// positions in increasing i — the serial sweep's order.
+	a, idx, cols := v.src0, v.idx, v.Val.Cols
+	aRows := a.Val.Rows
+	grain := par.Grain(aRows, segGrainMin)
+	if par.NumChunks(aRows, grain) <= 1 {
+		for i, r := range idx {
+			for j := 0; j < cols; j++ {
+				a.Grad.Data[r*cols+j] += v.Grad.Data[i*cols+j]
 			}
-		} else {
-			sidx := buildSegmentIndex(idx, aRows)
-			par.For(aRows, grain, func(lo, hi int) {
-				for r := lo; r < hi; r++ {
-					ga := a.Grad.Data[r*cols : (r+1)*cols]
-					for _, i := range sidx.rows[sidx.off[r]:sidx.off[r+1]] {
-						gv := v.Grad.Data[i*cols : (i+1)*cols]
-						for j := range ga {
-							ga[j] += gv[j]
-						}
-					}
-				}
-			})
+		}
+		return
+	}
+	sidx := buildSegmentIndex(v.tape, idx, aRows)
+	par.ForCtx(aRows, grain, segScatterArgs{dst: a.Grad.Data, src: v.Grad.Data, cols: cols, sidx: sidx}, segScatterChunk)
+}
+
+// segScatterArgs drives the grouped row-scatter kernel: destination row r
+// accumulates the source rows listed by sidx for segment r, in increasing
+// source order — the serial sweep's accumulation order.
+type segScatterArgs struct {
+	dst, src []float64
+	cols     int
+	sidx     segmentIndex
+}
+
+func segScatterChunk(a segScatterArgs, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		ro := a.dst[r*a.cols : (r+1)*a.cols]
+		for _, i := range a.sidx.rows[a.sidx.off[r]:a.sidx.off[r+1]] {
+			ra := a.src[i*a.cols : (i+1)*a.cols]
+			for j := range ro {
+				ro[j] += ra[j]
+			}
 		}
 	}
-	return v
 }
 
 // ScatterAddRows sums rows of a into outRows buckets: out[idx[i]] += a[i].
@@ -342,42 +544,36 @@ func (tp *Tape) Gather(a *Value, idx []int) *Value {
 // over the (disjoint) rows of a.Grad.
 func (tp *Tape) ScatterAddRows(a *Value, idx []int, outRows int) *Value {
 	cols := a.Val.Cols
-	out := NewTensor(outRows, cols)
+	v := tp.newNode(outRows, cols, scatterAddRowsBack)
+	v.src0, v.idx = a, idx
 	if grain := par.Grain(outRows, segGrainMin); par.NumChunks(outRows, grain) <= 1 {
 		// One chunk: the linear source sweep beats the index indirection.
 		for i, r := range idx {
 			for j := 0; j < cols; j++ {
-				out.Data[r*cols+j] += a.Val.Data[i*cols+j]
+				v.Val.Data[r*cols+j] += a.Val.Data[i*cols+j]
 			}
 		}
 	} else {
-		sidx := buildSegmentIndex(idx, outRows)
-		par.For(outRows, grain, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				ro := out.Data[r*cols : (r+1)*cols]
-				for _, i := range sidx.rows[sidx.off[r]:sidx.off[r+1]] {
-					ra := a.Val.Data[i*cols : (i+1)*cols]
-					for j := range ro {
-						ro[j] += ra[j]
-					}
-				}
-			}
-		})
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		par.For(len(idx), par.Grain(len(idx), segGrainMin), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				r := idx[i]
-				ga := a.Grad.Data[i*cols : (i+1)*cols]
-				gv := v.Grad.Data[r*cols : (r+1)*cols]
-				for j := range ga {
-					ga[j] += gv[j]
-				}
-			}
-		})
+		sidx := buildSegmentIndex(tp, idx, outRows)
+		par.ForCtx(outRows, grain, segScatterArgs{dst: v.Val.Data, src: a.Val.Data, cols: cols, sidx: sidx}, segScatterChunk)
 	}
 	return v
+}
+
+func scatterAddRowsBack(v *Value) {
+	par.ForCtx(len(v.idx), par.Grain(len(v.idx), segGrainMin), v, scatterAddRowsBackChunk)
+}
+
+func scatterAddRowsBackChunk(v *Value, lo, hi int) {
+	cols := v.Val.Cols
+	for i := lo; i < hi; i++ {
+		r := v.idx[i]
+		ga := v.src0.Grad.Data[i*cols : (i+1)*cols]
+		gv := v.Grad.Data[r*cols : (r+1)*cols]
+		for j := range ga {
+			ga[j] += gv[j]
+		}
+	}
 }
 
 // SegmentSoftmax computes a softmax over groups of rows of a column vector:
@@ -386,97 +582,35 @@ func (tp *Tape) SegmentSoftmax(a *Value, seg []int, nSeg int) *Value {
 	if a.Val.Cols != 1 || len(seg) != a.Val.Rows {
 		panic("autodiff: SegmentSoftmax requires an n x 1 input with n segment ids")
 	}
-	n := a.Val.Rows
-	out := NewTensor(n, 1)
-	// Segment-parallel: every segment's rows are owned by exactly one chunk
-	// and visited in increasing row order, so the max/sum/normalise pass
-	// performs the same floating-point operations as the serial row sweep —
-	// bitwise identical for every worker count. When one chunk would run
-	// anyway, the cache-friendly linear sweep skips the index build.
-	if grain := par.Grain(nSeg, segGrainMin); par.NumChunks(nSeg, grain) <= 1 {
-		maxv := make([]float64, nSeg)
-		for i := range maxv {
-			maxv[i] = math.Inf(-1)
-		}
-		for i := 0; i < n; i++ {
-			if a.Val.Data[i] > maxv[seg[i]] {
-				maxv[seg[i]] = a.Val.Data[i]
-			}
-		}
-		sum := make([]float64, nSeg)
-		for i := 0; i < n; i++ {
-			out.Data[i] = math.Exp(a.Val.Data[i] - maxv[seg[i]])
-			sum[seg[i]] += out.Data[i]
-		}
-		for i := 0; i < n; i++ {
-			out.Data[i] /= sum[seg[i]]
-		}
-	} else {
-		sidx := buildSegmentIndex(seg, nSeg)
-		par.For(nSeg, grain, func(lo, hi int) {
-			for s := lo; s < hi; s++ {
-				rows := sidx.rows[sidx.off[s]:sidx.off[s+1]]
-				mx := math.Inf(-1)
-				for _, i := range rows {
-					if a.Val.Data[i] > mx {
-						mx = a.Val.Data[i]
-					}
-				}
-				var sum float64
-				for _, i := range rows {
-					out.Data[i] = math.Exp(a.Val.Data[i] - mx)
-					sum += out.Data[i]
-				}
-				for _, i := range rows {
-					out.Data[i] /= sum
-				}
-			}
-		})
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		// d a_i = y_i * (g_i - sum_j in seg(i) g_j y_j)
-		if grain := par.Grain(nSeg, segGrainMin); par.NumChunks(nSeg, grain) <= 1 {
-			dot := make([]float64, nSeg)
-			for i := 0; i < n; i++ {
-				dot[seg[i]] += v.Grad.Data[i] * out.Data[i]
-			}
-			for i := 0; i < n; i++ {
-				a.Grad.Data[i] += out.Data[i] * (v.Grad.Data[i] - dot[seg[i]])
-			}
-		} else {
-			sidx := buildSegmentIndex(seg, nSeg)
-			par.For(nSeg, grain, func(lo, hi int) {
-				for s := lo; s < hi; s++ {
-					rows := sidx.rows[sidx.off[s]:sidx.off[s+1]]
-					var dot float64
-					for _, i := range rows {
-						dot += v.Grad.Data[i] * out.Data[i]
-					}
-					for _, i := range rows {
-						a.Grad.Data[i] += out.Data[i] * (v.Grad.Data[i] - dot)
-					}
-				}
-			})
-		}
-	}
+	v := tp.newNode(a.Val.Rows, 1, segmentSoftmaxBack)
+	v.src0, v.idx, v.n = a, seg, nSeg
+	v.sidx = segmentSoftmaxForward(tp, v.Val, a.Val, seg, nSeg)
 	return v
 }
 
-// SumAll reduces to a 1x1 scalar.
+func segmentSoftmaxBack(v *Value) {
+	segmentSoftmaxBackward(v.tape, v.src0.Grad.Data, v.Val.Data, v.Grad.Data, v.idx, v.n, v.sidx)
+}
+
+// SumAll reduces to a 1x1 scalar. The reduction is serial: one fixed
+// left-to-right fold, independent of worker count.
 func (tp *Tape) SumAll(a *Value) *Value {
-	out := NewTensor(1, 1)
+	v := tp.newNode(1, 1, sumAllBack)
+	v.src0 = a
+	var s float64
 	for _, x := range a.Val.Data {
-		out.Data[0] += x
+		s += x
 	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		g := v.Grad.Data[0]
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += g
-		}
-	}
+	v.Val.Data[0] = s
 	return v
+}
+
+func sumAllBack(v *Value) {
+	g := v.Grad.Data[0]
+	ga := v.src0.Grad.Data
+	for i := range ga {
+		ga[i] += g
+	}
 }
 
 // MeanAll reduces to the scalar mean.
@@ -487,25 +621,37 @@ func (tp *Tape) MeanAll(a *Value) *Value {
 
 // SumRows reduces each row to one value (n x 1).
 func (tp *Tape) SumRows(a *Value) *Value {
-	out := NewTensor(a.Val.Rows, 1)
-	cols := a.Val.Cols
-	for r := 0; r < a.Val.Rows; r++ {
+	v := tp.newNode(a.Val.Rows, 1, sumRowsBack)
+	v.src0 = a
+	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, sumRowsFwdChunk)
+	return v
+}
+
+func sumRowsFwdChunk(v *Value, lo, hi int) {
+	cols := v.src0.Val.Cols
+	x := v.src0.Val.Data
+	for r := lo; r < hi; r++ {
 		var s float64
 		for c := 0; c < cols; c++ {
-			s += a.Val.Data[r*cols+c]
+			s += x[r*cols+c]
 		}
-		out.Data[r] = s
+		v.Val.Data[r] = s
 	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for r := 0; r < a.Val.Rows; r++ {
-			g := v.Grad.Data[r]
-			for c := 0; c < cols; c++ {
-				a.Grad.Data[r*cols+c] += g
-			}
+}
+
+func sumRowsBack(v *Value) {
+	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.src0.Val.Cols), v, sumRowsBackChunk)
+}
+
+func sumRowsBackChunk(v *Value, lo, hi int) {
+	cols := v.src0.Val.Cols
+	ga := v.src0.Grad.Data
+	for r := lo; r < hi; r++ {
+		g := v.Grad.Data[r]
+		for c := 0; c < cols; c++ {
+			ga[r*cols+c] += g
 		}
 	}
-	return v
 }
 
 // MSE returns mean squared error between a and b as a scalar.
@@ -514,87 +660,52 @@ func (tp *Tape) MSE(a, b *Value) *Value {
 	return tp.MeanAll(tp.Mul(d, d))
 }
 
-// MatMulT returns a @ b^T (a: m x k, b: n x k -> m x n). It routes through
-// the same parallel kernels as MatMul: gemmBT forward (no transpose is
-// materialised), gemm/gemmAT backward.
-func (tp *Tape) MatMulT(a, b *Value) *Value {
-	if a.Val.Cols != b.Val.Cols {
-		panic(fmt.Sprintf("autodiff: matmulT %s @ %sT", a.Val.shape(), b.Val.shape()))
-	}
-	out := NewTensor(a.Val.Rows, b.Val.Rows)
-	gemmBT(out, a.Val, b.Val, false)
-	v := tp.node(out, nil)
-	v.back = func() {
-		gemm(a.Grad, v.Grad, b.Val, true)   // dA += dOut @ B
-		gemmAT(b.Grad, v.Grad, a.Val, true) // dB += dOut^T @ A
-	}
-	return v
-}
-
 // RowSoftmax applies a numerically stable softmax along each row. Both
 // passes are row-parallel: rows are independent, so chunked execution is
 // bitwise identical to the serial loop.
 func (tp *Tape) RowSoftmax(a *Value) *Value {
-	rows, cols := a.Val.Rows, a.Val.Cols
-	out := NewTensor(rows, cols)
-	par.For(rows, par.Grain(rows, segGrainMin), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			ra := a.Val.Data[r*cols : (r+1)*cols]
-			ro := out.Data[r*cols : (r+1)*cols]
-			mx := math.Inf(-1)
-			for _, x := range ra {
-				if x > mx {
-					mx = x
-				}
-			}
-			var sum float64
-			for i, x := range ra {
-				ro[i] = math.Exp(x - mx)
-				sum += ro[i]
-			}
-			for i := range ro {
-				ro[i] /= sum
-			}
-		}
-	})
-	v := tp.node(out, nil)
-	v.back = func() {
-		par.For(rows, par.Grain(rows, segGrainMin), func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				ro := out.Data[r*cols : (r+1)*cols]
-				var dot float64
-				for i := 0; i < cols; i++ {
-					dot += v.Grad.Data[r*cols+i] * ro[i]
-				}
-				for i := 0; i < cols; i++ {
-					a.Grad.Data[r*cols+i] += ro[i] * (v.Grad.Data[r*cols+i] - dot)
-				}
-			}
-		})
-	}
+	v := tp.newNode(a.Val.Rows, a.Val.Cols, rowSoftmaxBack)
+	v.src0 = a
+	par.ForCtx(a.Val.Rows, par.Grain(a.Val.Rows, segGrainMin), v, rowSoftmaxFwdChunk)
 	return v
 }
 
-// SoftClamp limits values to [lo, hi] with a residual slope outside the
-// band: y = clamp(x) + slope*(x - clamp(x)). Unlike a hard clamp the
-// gradient never vanishes (slope outside, 1 inside), so downstream
-// saturating nonlinearities (e.g. sigmoid gates) can always recover.
-func (tp *Tape) SoftClamp(a *Value, lo, hi, slope float64) *Value {
-	out := NewTensor(a.Val.Rows, a.Val.Cols)
-	for i, x := range a.Val.Data {
-		c := math.Max(lo, math.Min(hi, x))
-		out.Data[i] = c + slope*(x-c)
-	}
-	v := tp.node(out, nil)
-	v.back = func() {
-		for i, g := range v.Grad.Data {
-			x := a.Val.Data[i]
-			if x < lo || x > hi {
-				a.Grad.Data[i] += g * slope
-			} else {
-				a.Grad.Data[i] += g
+func rowSoftmaxFwdChunk(v *Value, lo, hi int) {
+	cols := v.Val.Cols
+	for r := lo; r < hi; r++ {
+		ra := v.src0.Val.Data[r*cols : (r+1)*cols]
+		ro := v.Val.Data[r*cols : (r+1)*cols]
+		mx := math.Inf(-1)
+		for _, x := range ra {
+			if x > mx {
+				mx = x
 			}
 		}
+		var sum float64
+		for i, x := range ra {
+			ro[i] = math.Exp(x - mx)
+			sum += ro[i]
+		}
+		for i := range ro {
+			ro[i] /= sum
+		}
 	}
-	return v
+}
+
+func rowSoftmaxBack(v *Value) {
+	par.ForCtx(v.Val.Rows, par.Grain(v.Val.Rows, segGrainMin), v, rowSoftmaxBackChunk)
+}
+
+func rowSoftmaxBackChunk(v *Value, lo, hi int) {
+	cols := v.Val.Cols
+	for r := lo; r < hi; r++ {
+		ro := v.Val.Data[r*cols : (r+1)*cols]
+		var dot float64
+		for i := 0; i < cols; i++ {
+			dot += v.Grad.Data[r*cols+i] * ro[i]
+		}
+		for i := 0; i < cols; i++ {
+			v.src0.Grad.Data[r*cols+i] += ro[i] * (v.Grad.Data[r*cols+i] - dot)
+		}
+	}
 }

@@ -112,7 +112,7 @@ func TestParallelChainMatchesSerial(t *testing.T) {
 // ops: rows grouped by segment, increasing within each segment.
 func TestSegmentIndexGroups(t *testing.T) {
 	seg := []int{2, 0, 1, 0, 2, 2}
-	idx := buildSegmentIndex(seg, 3)
+	idx := buildSegmentIndex(NewTape(), seg, 3)
 	want := [][]int{{1, 3}, {2}, {0, 4, 5}}
 	for s, rows := range want {
 		got := idx.rows[idx.off[s]:idx.off[s+1]]

@@ -6,7 +6,9 @@
 //
 // It stands in for the paper's GPU deep-learning framework (see DESIGN.md):
 // define-by-run eager execution, a tape in creation order, and reverse
-// accumulation over the tape.
+// accumulation over the tape. Tapes recycle all of their storage through an
+// arena (arena.go): call Reset between passes and the steady state performs
+// zero heap allocations.
 package autodiff
 
 import (
@@ -39,11 +41,21 @@ func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
 // Set writes element (r, c).
 func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
 
-// Clone deep-copies the tensor.
+// Clone deep-copies the tensor into fresh heap storage. Hot paths that own a
+// destination should use CopyInto (or Tape.Zeros + copy) instead.
 func (t *Tensor) Clone() *Tensor {
 	out := NewTensor(t.Rows, t.Cols)
 	copy(out.Data, t.Data)
 	return out
+}
+
+// CopyInto copies t's contents into dst (shapes must match). It is the
+// allocation-free counterpart of Clone for arena-backed destinations.
+func (t *Tensor) CopyInto(dst *Tensor) {
+	if !t.SameShape(dst) {
+		panic(fmt.Sprintf("autodiff: CopyInto shape mismatch %s vs %s", t.shape(), dst.shape()))
+	}
+	copy(dst.Data, t.Data)
 }
 
 // Fill sets every element to v.
@@ -67,20 +79,38 @@ func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols =
 func (t *Tensor) shape() string { return fmt.Sprintf("%dx%d", t.Rows, t.Cols) }
 
 // Value is a node in the autodiff graph: a tensor plus (optionally) its
-// gradient and backward function.
+// gradient and the state its backward function needs. Backward functions are
+// static (top-level) functions receiving the node, not closures — a closure
+// per op is a heap allocation per op, which would defeat the arena.
 type Value struct {
 	Val  *Tensor
 	Grad *Tensor
 
 	tape    *Tape
-	back    func()
 	isParam bool
+
+	// Backward state. Which fields an op uses is up to its back function;
+	// unused ones stay zero. Everything here is either arena-owned or
+	// caller-owned and borrowed for the duration of one pass.
+	back       func(v *Value)
+	src0       *Value
+	src1       *Value
+	src2       *Value
+	srcs       []*Value     // variadic inputs (Concat)
+	aux        *Tensor      // fused-op stash (pre-activation, attention weights)
+	idx        []int        // row indices / segment ids
+	idx2       []int        // second index set (GatherConcat)
+	sidx       segmentIndex // cached segment index for segment-parallel backward
+	n          int          // op-specific count (nSeg, part width, ...)
+	s0, s1, s2 float64      // op-specific scalars (slopes, clamp bounds, ...)
 }
 
-// Tape records operations in creation order for reverse accumulation.
+// Tape records operations in creation order for reverse accumulation. All
+// node storage is drawn from the tape's arena; Reset recycles it.
 type Tape struct {
 	nodes  []*Value
 	noGrad bool
+	arena  arena
 }
 
 // NewTape creates an empty tape.
@@ -91,28 +121,67 @@ func NewTape() *Tape { return &Tape{} }
 // allocation traffic, which dominates GNN forward cost on CPU.
 func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
 
-// Reset discards recorded operations (parameters keep their gradients only
-// until ZeroGrad).
-func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+// Reset discards recorded operations and recycles every tensor, node and
+// scratch slice of the previous pass back into the tape's arena (parameters
+// keep their gradients only until ZeroGrad). All Values and tensors obtained
+// from this tape since the previous Reset — including via Zeros/TensorFrom —
+// are invalidated: the next pass reuses their storage. Prefer Reset over a
+// fresh NewTape in loops; after one warm-up pass the steady state allocates
+// nothing.
+func (tp *Tape) Reset() {
+	tp.nodes = tp.nodes[:0]
+	tp.arena.reset()
+}
 
-func (tp *Tape) node(val *Tensor, back func()) *Value {
-	if tp.noGrad {
-		// Forward-only: no gradient buffer, no tape recording. Backward
-		// closures created by ops capture Values but are never invoked.
-		return &Value{Val: val, tape: tp}
+// Zeros returns a zeroed rows x cols tensor owned by the tape's arena. It is
+// valid until the next Reset; use it for per-pass constants and feature
+// staging instead of NewTensor.
+func (tp *Tape) Zeros(rows, cols int) *Tensor {
+	return tp.arena.tensor(rows, cols)
+}
+
+// TensorFrom copies data into an arena-owned rows x cols tensor (valid until
+// the next Reset). It is the recycling counterpart of FromSlice for callers
+// that reuse their staging slice.
+func (tp *Tape) TensorFrom(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("autodiff: %d values for %dx%d tensor", len(data), rows, cols))
 	}
-	v := &Value{Val: val, Grad: NewTensor(val.Rows, val.Cols), tape: tp, back: back}
-	tp.nodes = append(tp.nodes, v)
+	t := tp.arena.tensor(rows, cols)
+	copy(t.Data, data)
+	return t
+}
+
+// newNode allocates a node with a zeroed rows x cols result tensor from the
+// arena. On gradient tapes it also gets a zeroed gradient buffer and is
+// recorded for reverse accumulation; on inference tapes back is dropped.
+// Ops fill in their backward state fields after the call.
+func (tp *Tape) newNode(rows, cols int, back func(*Value)) *Value {
+	v := tp.arena.value()
+	v.Val = tp.arena.tensor(rows, cols)
+	v.tape = tp
+	if !tp.noGrad {
+		v.Grad = tp.arena.tensor(rows, cols)
+		v.back = back
+		tp.nodes = append(tp.nodes, v)
+	}
 	return v
 }
 
 // Const wraps a tensor as a leaf with no gradient flow out of it.
 func (tp *Tape) Const(t *Tensor) *Value {
-	return tp.node(t, nil)
+	v := tp.arena.value()
+	v.Val = t
+	v.tape = tp
+	if !tp.noGrad {
+		v.Grad = tp.arena.tensor(t.Rows, t.Cols)
+	}
+	return v
 }
 
 // Param wraps a tensor as a trainable parameter. Parameters live across tape
-// resets; re-register them per forward pass via Watch.
+// resets (their storage is never arena-owned); re-register them per forward
+// pass via Watch.
 func Param(t *Tensor) *Value {
 	return &Value{Val: t, Grad: NewTensor(t.Rows, t.Cols), isParam: true}
 }
@@ -123,7 +192,6 @@ func (tp *Tape) Watch(p *Value) *Value {
 		panic("autodiff: Watch on non-parameter")
 	}
 	p.tape = tp
-	tp.nodes = append(tp.nodes, p)
 	return p
 }
 
@@ -139,7 +207,7 @@ func (tp *Tape) Backward(out *Value) {
 	for i := len(tp.nodes) - 1; i >= 0; i-- {
 		n := tp.nodes[i]
 		if n.back != nil {
-			n.back()
+			n.back(n)
 		}
 	}
 }

@@ -29,6 +29,9 @@ type Harp struct {
 	query    *autodiff.Value // EmbedDim x EmbedDim path->edge attention
 	decoder  *gnn.MLP
 	params   []*autodiff.Value
+
+	solveTapes tapePool
+	trainTape  *autodiff.Tape // reused across TrainStep calls (training is serial)
 }
 
 // NewHarp builds a HARP-like model.
@@ -63,11 +66,11 @@ func (h *Harp) forward(tp *autodiff.Tape, p *te.Problem) (*autodiff.Value, []int
 		deg[l.A]++
 		deg[l.B]++
 	}
-	nodeIn := autodiff.NewTensor(n, h.EmbedDim)
+	nodeIn := tp.Zeros(n, h.EmbedDim)
 	for i := 0; i < n; i++ {
 		nodeIn.Set(i, 0, deg[i]*0.25)
 	}
-	edgeIn := autodiff.NewTensor(rel.Len(), h.EmbedDim)
+	edgeIn := tp.Zeros(rel.Len(), h.EmbedDim)
 	for i := 0; i < rel.Len(); i++ {
 		edgeIn.Set(i, 0, 1)
 	}
@@ -110,11 +113,11 @@ func (h *Harp) forward(tp *autodiff.Tape, p *te.Problem) (*autodiff.Value, []int
 	}
 	gathered := tp.Gather(nodeEmb, gIdx)
 	sums := tp.ScatterAddRows(gathered, sIdx, len(pathRows))
-	invLen := make([]float64, len(pathRows))
+	invLen := tp.Zeros(len(pathRows), 1)
 	for pi, nodes := range pathRows {
-		invLen[pi] = 1 / float64(len(nodes))
+		invLen.Data[pi] = 1 / float64(len(nodes))
 	}
-	pathQuery := tp.MulColBroadcast(sums, tp.Const(autodiff.FromSlice(len(pathRows), 1, invLen)))
+	pathQuery := tp.MulColBroadcast(sums, tp.Const(invLen))
 
 	// Edge-path transformer: every path attends over ALL link embeddings —
 	// the dense P x E attention whose compute cost scales with network size.
@@ -130,7 +133,8 @@ func (h *Harp) forward(tp *autodiff.Tape, p *te.Problem) (*autodiff.Value, []int
 // Solve implements Solver: full-demand softmax routing then trim.
 func (h *Harp) Solve(p *te.Problem) (*te.Allocation, error) {
 	alloc := te.NewAllocation(p)
-	tp := autodiff.NewInferenceTape()
+	tp := h.solveTapes.get()
+	defer h.solveTapes.put(tp)
 	scores, varFlow := h.forward(tp, p)
 	if scores == nil {
 		p.Trim(alloc)
@@ -152,18 +156,22 @@ func (h *Harp) Solve(p *te.Problem) (*te.Allocation, error) {
 // utilisations of the softmax-routed demand). Self-supervised: no labels
 // needed, as in HARP's MLU objective.
 func (h *Harp) TrainStep(p *te.Problem, opt *autodiff.Adam) (float64, error) {
-	tp := autodiff.NewTape()
+	if h.trainTape == nil {
+		h.trainTape = autodiff.NewTape()
+	}
+	tp := h.trainTape
+	tp.Reset()
 	scores, varFlow := h.forward(tp, p)
 	if scores == nil {
 		return 0, nil
 	}
 	alpha := tp.SegmentSoftmax(scores, varFlow, len(p.Flows))
-	demands := make([]float64, len(varFlow))
+	demands := tp.Zeros(len(varFlow), 1)
 	j := 0
 	var varIdx, linkIdx []int
 	for fi := range p.Flows {
 		for pi := range p.Flows[fi].Paths {
-			demands[j] = p.Flows[fi].DemandMbps
+			demands.Data[j] = p.Flows[fi].DemandMbps
 			for _, li := range p.PathLinks(fi, pi) {
 				varIdx = append(varIdx, j)
 				linkIdx = append(linkIdx, li)
@@ -171,18 +179,18 @@ func (h *Harp) TrainStep(p *te.Problem, opt *autodiff.Adam) (float64, error) {
 			j++
 		}
 	}
-	x := tp.Mul(alpha, tp.Const(autodiff.FromSlice(len(demands), 1, demands)))
+	x := tp.Mul(alpha, tp.Const(demands))
 	if len(varIdx) == 0 {
 		return 0, nil
 	}
 	loads := tp.ScatterAddRows(tp.Gather(x, varIdx), linkIdx, len(p.Links))
-	invCap := make([]float64, len(p.Links))
+	invCap := tp.Zeros(len(p.Links), 1)
 	for i, c := range p.LinkCap {
 		if c > 0 {
-			invCap[i] = 1 / c
+			invCap.Data[i] = 1 / c
 		}
 	}
-	util := tp.Mul(loads, tp.Const(autodiff.FromSlice(len(p.Links), 1, invCap)))
+	util := tp.Mul(loads, tp.Const(invCap))
 	// soft-MLU: (1/beta) log sum exp(beta * util).
 	const beta = 8.0
 	softMax := tp.Scale(tp.SumAll(tp.Exp(tp.Scale(util, beta))), 1)

@@ -1,0 +1,24 @@
+package baselines
+
+import (
+	"sync"
+
+	"sate/internal/autodiff"
+)
+
+// tapePool recycles inference tapes across Solve calls so the autodiff arena
+// stays warm: after the first solve of a given problem size, subsequent
+// solves run near-allocation-free (DESIGN.md §8).
+type tapePool struct{ pool sync.Pool }
+
+func (tp *tapePool) get() *autodiff.Tape {
+	if t, ok := tp.pool.Get().(*autodiff.Tape); ok {
+		return t
+	}
+	return autodiff.NewInferenceTape()
+}
+
+func (tp *tapePool) put(t *autodiff.Tape) {
+	t.Reset()
+	tp.pool.Put(t)
+}

@@ -38,6 +38,9 @@ type Teal struct {
 	gnnStack  *gnn.Stack
 	decoder   *gnn.MLP // per (pair, path): [demand, mean link emb] -> score
 	params    []*autodiff.Value
+
+	solveTapes tapePool
+	trainTape  *autodiff.Tape // reused across TrainStep calls (training is serial)
 }
 
 // TealDataPointBytes estimates the dense data-point volume Teal requires:
@@ -128,7 +131,7 @@ func (t *Teal) forward(tp *autodiff.Tape, p *te.Problem) (scores *autodiff.Value
 	// Position-specific inputs: Teal's DNN layout assigns every node a fixed
 	// slot, so nodes carry a fixed positional encoding alongside degree.
 	// (Without it, a vertex-transitive grid makes all embeddings identical.)
-	nodeIn := autodiff.NewTensor(t.NumNodes, t.EmbedDim)
+	nodeIn := tp.Zeros(t.NumNodes, t.EmbedDim)
 	for i := 0; i < t.NumNodes; i++ {
 		nodeIn.Set(i, 0, deg[i]*0.25)
 		h := uint64(i)
@@ -137,7 +140,7 @@ func (t *Teal) forward(tp *autodiff.Tape, p *te.Problem) (scores *autodiff.Value
 			nodeIn.Set(i, c, float64(int64(h%1000))/1000-0.5)
 		}
 	}
-	edgeIn := autodiff.NewTensor(rel.Len(), t.EmbedDim)
+	edgeIn := tp.Zeros(rel.Len(), t.EmbedDim)
 	for i := range eFeat {
 		edgeIn.Set(i, 0, eFeat[i])
 	}
@@ -149,7 +152,7 @@ func (t *Teal) forward(tp *autodiff.Tape, p *te.Problem) (scores *autodiff.Value
 	// structure of Sec. 2.4 that prevents pruning: compute and memory grow
 	// with N^2 regardless of how sparse the live demand is.
 	denseRows := t.NumNodes * t.NumNodes * t.K
-	input := autodiff.NewTensor(denseRows, 1+t.EmbedDim)
+	input := tp.Zeros(denseRows, 1+t.EmbedDim)
 	var activeRows []int
 	for fi := range p.Flows {
 		f := &p.Flows[fi]
@@ -194,7 +197,8 @@ func (t *Teal) forward(tp *autodiff.Tape, p *te.Problem) (scores *autodiff.Value
 // demand, then trim.
 func (t *Teal) Solve(p *te.Problem) (*te.Allocation, error) {
 	alloc := te.NewAllocation(p)
-	tp := autodiff.NewInferenceTape()
+	tp := t.solveTapes.get()
+	defer t.solveTapes.put(tp)
 	scores, varFlow, varPath := t.forward(tp, p)
 	if scores == nil {
 		p.Trim(alloc)
@@ -213,23 +217,27 @@ func (t *Teal) Solve(p *te.Problem) (*te.Allocation, error) {
 // returning the loss. Teal trains per fixed topology (its models are "tied to
 // a single topology").
 func (t *Teal) TrainStep(p *te.Problem, ref *te.Allocation, opt *autodiff.Adam) (float64, error) {
-	tp := autodiff.NewTape()
+	if t.trainTape == nil {
+		t.trainTape = autodiff.NewTape()
+	}
+	tp := t.trainTape
+	tp.Reset()
 	scores, varFlow, varPath := t.forward(tp, p)
 	if scores == nil {
 		return 0, nil
 	}
 	alpha := tp.SegmentSoftmax(scores, varFlow, len(p.Flows))
-	target := make([]float64, len(varFlow))
+	target := tp.Zeros(len(varFlow), 1)
 	for j := range varFlow {
 		fi, pi := varFlow[j], varPath[j]
 		tot := ref.FlowThroughput(fi)
 		if tot > 0 {
-			target[j] = ref.X[fi][pi] / tot
+			target.Data[j] = ref.X[fi][pi] / tot
 		} else {
-			target[j] = 1 / float64(len(p.Flows[fi].Paths))
+			target.Data[j] = 1 / float64(len(p.Flows[fi].Paths))
 		}
 	}
-	loss := tp.MSE(alpha, tp.Const(autodiff.FromSlice(len(target), 1, target)))
+	loss := tp.MSE(alpha, tp.Const(target))
 	opt.ZeroGrad()
 	tp.Backward(loss)
 	opt.Step()

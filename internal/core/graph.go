@@ -74,6 +74,35 @@ const (
 func BuildTEGraph(p *te.Problem) *TEGraph {
 	g := &TEGraph{NumSats: p.NumNodes}
 
+	// Pre-size every slice exactly: a graph is built per Solve call, so
+	// incremental append growth would be steady-state garbage.
+	nR1 := 2 * len(p.Links)
+	nPaths, nR2 := 0, 0
+	for fi := range p.Flows {
+		for pi := range p.Flows[fi].Paths {
+			nR2 += len(p.Flows[fi].Paths[pi].Nodes)
+		}
+		nPaths += len(p.Flows[fi].Paths)
+	}
+	g.R1 = gnn.EdgeList{Src: make([]int, 0, nR1), Dst: make([]int, 0, nR1)}
+	g.R1Feat = make([]float64, 0, nR1)
+	g.TrafficFeat = make([]float64, 0, len(p.Flows))
+	g.PathFeat = make([]float64, 0, nPaths)
+	g.VarFlow = make([]int, 0, nPaths)
+	g.FlowVars = make([][]int, 0, len(p.Flows))
+	g.R2 = gnn.EdgeList{Src: make([]int, 0, nR2), Dst: make([]int, 0, nR2)}
+	g.R2Feat = make([]float64, 0, nR2)
+	g.R3 = gnn.EdgeList{Src: make([]int, 0, nPaths), Dst: make([]int, 0, nPaths)}
+	g.R3Feat = make([]float64, 0, nPaths)
+	g.Access = gnn.EdgeList{Src: make([]int, 0, 2*len(p.Flows)), Dst: make([]int, 0, 2*len(p.Flows))}
+	g.AccessFeat = make([]float64, 0, 2*len(p.Flows))
+	// Variable ids are assigned densely in flow order, so FlowVars is a
+	// contiguous slicing of 0..nPaths-1 — one shared backing array.
+	allVars := make([]int, nPaths)
+	for i := range allVars {
+		allVars[i] = i
+	}
+
 	// R1: satellite interconnection, both directions, capacity feature.
 	deg := make([]float64, p.NumNodes)
 	for li, l := range p.Links {
@@ -97,13 +126,12 @@ func BuildTEGraph(p *te.Problem) *TEGraph {
 		g.NumTraffic++
 		g.TrafficFeat = append(g.TrafficFeat, f.DemandMbps*featDemandScale)
 		nCand := float64(len(f.Paths)) * featPathsScale
-		var vars []int
+		vars := allVars[g.NumPaths : g.NumPaths+len(f.Paths) : g.NumPaths+len(f.Paths)]
 		for pi := range f.Paths {
 			pn := g.NumPaths
 			g.NumPaths++
 			path := f.Paths[pi]
 			g.PathFeat = append(g.PathFeat, float64(path.Hops())*featHopsScale)
-			vars = append(vars, pn)
 			g.VarFlow = append(g.VarFlow, fi)
 			// R2: each satellite the path crosses.
 			n := len(path.Nodes)

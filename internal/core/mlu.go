@@ -26,42 +26,57 @@ func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64) ([]float
 	opt.ClipNorm = 5
 	var perEpoch []float64
 	const beta = 8.0
+
+	// Static per-problem state (graph, incidence, demand, inverse capacity)
+	// is built once; the epoch loop only runs forward/backward passes on a
+	// reused tape.
+	type mluUnit struct {
+		p               *te.Problem
+		g               *TEGraph
+		varIdx, linkIdx []int
+		demand, invCap  []float64
+	}
+	var units []mluUnit
+	for _, p := range problems {
+		g := BuildTEGraph(p)
+		if g.NumPaths == 0 {
+			continue
+		}
+		u := mluUnit{p: p, g: g, demand: make([]float64, g.NumPaths)}
+		for j, fi := range g.VarFlow {
+			u.demand[j] = p.Flows[fi].DemandMbps
+		}
+		for fi, vars := range g.FlowVars {
+			for pi, j := range vars {
+				for _, li := range p.PathLinks(fi, pi) {
+					u.varIdx = append(u.varIdx, j)
+					u.linkIdx = append(u.linkIdx, li)
+				}
+			}
+		}
+		if len(u.varIdx) == 0 {
+			continue
+		}
+		u.invCap = make([]float64, len(p.Links))
+		for i, c := range p.LinkCap {
+			if c > 0 {
+				u.invCap[i] = 1 / c
+			}
+		}
+		units = append(units, u)
+	}
+
+	tp := autodiff.NewTape()
 	for ep := 0; ep < epochs; ep++ {
 		var sum float64
-		for _, p := range problems {
-			g := BuildTEGraph(p)
-			if g.NumPaths == 0 {
-				continue
-			}
-			tp := autodiff.NewTape()
+		for _, u := range units {
+			g, p := u.g, u.p
+			tp.Reset()
 			scores, _ := m.Forward(tp, g)
 			alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
-			demand := make([]float64, g.NumPaths)
-			for j, fi := range g.VarFlow {
-				demand[j] = p.Flows[fi].DemandMbps
-			}
-			x := tp.Mul(alpha, tp.Const(autodiff.FromSlice(g.NumPaths, 1, demand)))
-
-			var varIdx, linkIdx []int
-			for fi, vars := range g.FlowVars {
-				for pi, j := range vars {
-					for _, li := range p.PathLinks(fi, pi) {
-						varIdx = append(varIdx, j)
-						linkIdx = append(linkIdx, li)
-					}
-				}
-			}
-			if len(varIdx) == 0 {
-				continue
-			}
-			loads := tp.ScatterAddRows(tp.Gather(x, varIdx), linkIdx, len(p.Links))
-			invCap := make([]float64, len(p.Links))
-			for i, c := range p.LinkCap {
-				if c > 0 {
-					invCap[i] = 1 / c
-				}
-			}
-			util := tp.Mul(loads, tp.Const(autodiff.FromSlice(len(p.Links), 1, invCap)))
+			x := tp.Mul(alpha, tp.Const(tp.TensorFrom(g.NumPaths, 1, u.demand)))
+			loads := tp.ScatterAddRows(tp.Gather(x, u.varIdx), u.linkIdx, len(p.Links))
+			util := tp.Mul(loads, tp.Const(tp.TensorFrom(len(p.Links), 1, u.invCap)))
 			loss := tp.Scale(tp.SumAll(tp.Exp(tp.Scale(util, beta))), 1/beta)
 			opt.ZeroGrad()
 			tp.Backward(loss)
@@ -85,7 +100,7 @@ func (m *Model) SolveMLU(p *te.Problem) (*te.Allocation, error) {
 	if g.NumPaths == 0 {
 		return alloc, nil
 	}
-	tp := autodiff.NewInferenceTape()
+	tp := m.inferenceTape()
 	scores, _ := m.Forward(tp, g)
 	alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
 	for fi, vars := range g.FlowVars {
@@ -93,6 +108,7 @@ func (m *Model) SolveMLU(p *te.Problem) (*te.Allocation, error) {
 			alloc.X[fi][pi] = alpha.Val.Data[j] * p.Flows[fi].DemandMbps
 		}
 	}
+	m.returnTape(tp)
 	p.Trim(alloc)
 	return alloc, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
 	"sate/internal/autodiff"
 	"sate/internal/gnn"
@@ -67,6 +68,11 @@ type Model struct {
 	decoder *gnn.MLP
 
 	params []*autodiff.Value
+
+	// tapes recycles inference tapes across Solve/SolveMLU calls: after the
+	// first solve of a given problem size the arena is warm and a solve
+	// performs near-zero heap allocation (DESIGN.md §8).
+	tapes sync.Pool
 }
 
 // NewModel builds a SaTE model.
@@ -147,10 +153,11 @@ func (m *Model) NumParams() int {
 }
 
 // embed initialises an embedding matrix from a scalar feature column:
-// rows x 1 feature times 1 x d learnable weight (Fig. 7 table).
+// rows x 1 feature times 1 x d learnable weight (Fig. 7 table). The feature
+// column is staged in an arena tensor — no per-pass heap copy.
 func (m *Model) embed(tp *autodiff.Tape, feat []float64, w *autodiff.Value) *autodiff.Value {
 	tp.Watch(w)
-	col := autodiff.FromSlice(len(feat), 1, append([]float64(nil), feat...))
+	col := tp.TensorFrom(len(feat), 1, feat)
 	return tp.MatMul(tp.Const(col), w)
 }
 
@@ -199,7 +206,7 @@ func (m *Model) Forward(tp *autodiff.Tape, g *TEGraph) (scores, gates *autodiff.
 	// Decoder: per path variable, concat(path embedding, its flow's traffic
 	// embedding) -> [score, gate].
 	if g.NumPaths == 0 {
-		zero := tp.Const(autodiff.NewTensor(0, 1))
+		zero := tp.Const(tp.Zeros(0, 1))
 		return zero, zero
 	}
 	trfPerVar := tp.Gather(trf, g.VarFlow)
@@ -210,7 +217,7 @@ func (m *Model) Forward(tp *autodiff.Tape, g *TEGraph) (scores, gates *autodiff.
 // colSlice extracts one column of a two-column value as an n x 1 value.
 func colSlice(tp *autodiff.Tape, v *autodiff.Value, col int) *autodiff.Value {
 	// Multiply by a constant selector matrix (cols x 1).
-	sel := autodiff.NewTensor(v.Val.Cols, 1)
+	sel := tp.Zeros(v.Val.Cols, 1)
 	sel.Set(col, 0, 1)
 	return tp.MatMul(v, tp.Const(sel))
 }
@@ -230,19 +237,32 @@ func (m *Model) Allocate(tp *autodiff.Tape, g *TEGraph, p *te.Problem) *autodiff
 	// sigmoid's responsive band so they can recover when load drops.
 	gate := tp.Sigmoid(tp.SoftClamp(gates, -4, 4, 0.25))
 	mix := tp.Mul(alpha, gate)
-	demand := make([]float64, g.NumPaths)
+	demand := tp.Zeros(g.NumPaths, 1)
 	for j, fi := range g.VarFlow {
-		demand[j] = p.Flows[fi].DemandMbps
+		demand.Data[j] = p.Flows[fi].DemandMbps
 	}
-	dcol := tp.Const(autodiff.FromSlice(g.NumPaths, 1, demand))
-	return tp.Mul(mix, dcol)
+	return tp.Mul(mix, tp.Const(demand))
+}
+
+// inferenceTape checks a recycled inference tape out of the model's pool;
+// returnTape resets and returns it for the next solve.
+func (m *Model) inferenceTape() *autodiff.Tape {
+	if tp, ok := m.tapes.Get().(*autodiff.Tape); ok {
+		return tp
+	}
+	return autodiff.NewInferenceTape()
+}
+
+func (m *Model) returnTape(tp *autodiff.Tape) {
+	tp.Reset()
+	m.tapes.Put(tp)
 }
 
 // Solve implements the baselines.Solver interface: graph construction,
 // GNN inference, decoding, and the feasibility correction.
 func (m *Model) Solve(p *te.Problem) (*te.Allocation, error) {
 	g := BuildTEGraph(p)
-	tp := autodiff.NewInferenceTape()
+	tp := m.inferenceTape()
 	x := m.Allocate(tp, g, p)
 	alloc := te.NewAllocation(p)
 	for fi, vars := range g.FlowVars {
@@ -250,6 +270,7 @@ func (m *Model) Solve(p *te.Problem) (*te.Allocation, error) {
 			alloc.X[fi][pi] = x.Val.Data[j]
 		}
 	}
+	m.returnTape(tp)
 	p.Trim(alloc)
 	return alloc, nil
 }

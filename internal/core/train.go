@@ -33,6 +33,12 @@ type Sample struct {
 	Graph   *TEGraph
 	// Labels are the optimal x*_fp aligned with Graph variable order.
 	Labels []float64
+
+	// varIdx/linkIdx cache the variable->link incidence used by the penalty
+	// term (one entry per (path variable, traversed link) pair). Built once
+	// per sample — the incidence is static across epochs.
+	varIdx, linkIdx []int
+	incBuilt        bool
 }
 
 // NewSample builds a training sample from a problem and a reference
@@ -45,7 +51,26 @@ func NewSample(p *te.Problem, ref *te.Allocation) *Sample {
 			labels[j] = ref.X[fi][pi]
 		}
 	}
-	return &Sample{Problem: p, Graph: g, Labels: labels}
+	s := &Sample{Problem: p, Graph: g, Labels: labels}
+	s.incidence()
+	return s
+}
+
+// incidence returns the cached variable->link incidence, building it on
+// first use (samples constructed literally in tests skip NewSample).
+func (s *Sample) incidence() ([]int, []int) {
+	if !s.incBuilt {
+		for fi, vars := range s.Graph.FlowVars {
+			for pi, j := range vars {
+				for _, li := range s.Problem.PathLinks(fi, pi) {
+					s.varIdx = append(s.varIdx, j)
+					s.linkIdx = append(s.linkIdx, li)
+				}
+			}
+		}
+		s.incBuilt = true
+	}
+	return s.varIdx, s.linkIdx
 }
 
 // SupervisedLoss computes only the supervised term (demand-normalised MSE
@@ -57,20 +82,20 @@ func SupervisedLoss(tp *autodiff.Tape, s *Sample, x *autodiff.Value) *autodiff.V
 	g := s.Graph
 	p := s.Problem
 	if g.NumPaths == 0 {
-		return tp.Const(autodiff.NewTensor(1, 1))
+		return tp.Const(tp.Zeros(1, 1))
 	}
-	invD := make([]float64, g.NumPaths)
-	labN := make([]float64, g.NumPaths)
+	invD := tp.Zeros(g.NumPaths, 1)
+	labN := tp.Zeros(g.NumPaths, 1)
 	for j, fi := range g.VarFlow {
 		d := p.Flows[fi].DemandMbps
 		if d <= 0 {
 			d = 1
 		}
-		invD[j] = 1 / d
-		labN[j] = s.Labels[j] / d
+		invD.Data[j] = 1 / d
+		labN.Data[j] = s.Labels[j] / d
 	}
-	xn := tp.Mul(x, tp.Const(autodiff.FromSlice(g.NumPaths, 1, invD)))
-	return tp.MSE(xn, tp.Const(autodiff.FromSlice(g.NumPaths, 1, labN)))
+	xn := tp.Mul(x, tp.Const(invD))
+	return tp.MSE(xn, tp.Const(labN))
 }
 
 // Loss computes the mixed loss of Eq. (4)/(5) for a forward pass:
@@ -85,37 +110,17 @@ func Loss(tp *autodiff.Tape, m *Model, s *Sample, x *autodiff.Value, cfg LossCon
 	g := s.Graph
 	p := s.Problem
 	if g.NumPaths == 0 {
-		return tp.Const(autodiff.NewTensor(1, 1))
+		return tp.Const(tp.Zeros(1, 1))
 	}
 
-	// Demand normalisation for the supervised term keeps gradients balanced
-	// across flows of very different sizes (64 Kbps voice vs 50 Mbps files).
-	invD := make([]float64, g.NumPaths)
-	labN := make([]float64, g.NumPaths)
-	for j, fi := range g.VarFlow {
-		d := p.Flows[fi].DemandMbps
-		if d <= 0 {
-			d = 1
-		}
-		invD[j] = 1 / d
-		labN[j] = s.Labels[j] / d
-	}
-	xn := tp.Mul(x, tp.Const(autodiff.FromSlice(g.NumPaths, 1, invD)))
-	sup := tp.MSE(xn, tp.Const(autodiff.FromSlice(g.NumPaths, 1, labN)))
+	// Demand-normalised supervised anchor (same term as SupervisedLoss).
+	sup := SupervisedLoss(tp, s, x)
 
 	// total_flow = sum of allocations.
 	totalFlow := tp.SumAll(x)
 
-	// Per-link loads via scatter over the variable->link incidence.
-	var varIdx, linkIdx []int
-	for fi, vars := range g.FlowVars {
-		for pi, j := range vars {
-			for _, li := range p.PathLinks(fi, pi) {
-				varIdx = append(varIdx, j)
-				linkIdx = append(linkIdx, li)
-			}
-		}
-	}
+	// Per-link loads via scatter over the cached variable->link incidence.
+	varIdx, linkIdx := s.incidence()
 	loss := sup
 	totalDemand := p.TotalDemand()
 	if totalDemand <= 0 {
@@ -129,14 +134,14 @@ func Loss(tp *autodiff.Tape, m *Model, s *Sample, x *autodiff.Value, cfg LossCon
 		// from the current utilisations but detached from the gradient.
 		// Back-propagating through the exponential makes the penalty
 		// gradient explode under overload and kills the (sigmoid) gates.
-		alphaConst := autodiff.NewTensor(len(p.Links), 1)
+		alphaConst := tp.Zeros(len(p.Links), 1)
 		for i := range p.LinkCap {
 			if p.LinkCap[i] > 0 {
 				u := loads.Val.Data[i] / p.LinkCap[i]
 				alphaConst.Data[i] = math.Exp(math.Min(u, cfg.AlphaMax))
 			}
 		}
-		caps := tp.Const(autodiff.FromSlice(len(p.Links), 1, append([]float64(nil), p.LinkCap...)))
+		caps := tp.Const(tp.TensorFrom(len(p.Links), 1, p.LinkCap))
 		over := tp.ReLU(tp.Sub(loads, caps)) // over_flow_i
 		penalty := tp.SumAll(tp.Mul(tp.Const(alphaConst), over))
 		mixed := tp.Scale(tp.Sub(penalty, tp.Scale(totalFlow, cfg.LambdaFlow)), 1/den)
@@ -193,10 +198,13 @@ func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
 	}
 	warmEpochs := int(warm * float64(cfg.Epochs))
 	res := &TrainResult{Epochs: cfg.Epochs}
+	// One tape for the whole run: Reset recycles every intermediate into the
+	// arena, so after the first pass per problem size steps allocate nothing.
+	tp := autodiff.NewTape()
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		var sum float64
 		for _, s := range samples {
-			tp := autodiff.NewTape()
+			tp.Reset()
 			x := m.Allocate(tp, s.Graph, s.Problem)
 			var l *autodiff.Value
 			if ep < warmEpochs {

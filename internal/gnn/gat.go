@@ -46,6 +46,7 @@ type GATLayer struct {
 	thetaSrc   []*autodiff.Value // per head: InSrc x HeadDim (message + key)
 	thetaEdge  []*autodiff.Value // per head: InEdge x HeadDim
 	attnVector []*autodiff.Value // per head: 3*HeadDim x 1
+	params     []*autodiff.Value // cached Params() result (Forward is hot)
 }
 
 // NewGATLayer creates a layer with Xavier-style initialisation.
@@ -64,21 +65,20 @@ func NewGATLayer(rng *rand.Rand, inDst, inSrc, inEdge, heads, headDim int) *GATL
 		l.thetaEdge = append(l.thetaEdge, mk(inEdge, headDim))
 		l.attnVector = append(l.attnVector, mk(3*headDim, 1))
 	}
+	l.params = append(l.params, l.thetaS)
+	l.params = append(l.params, l.thetaDst...)
+	l.params = append(l.params, l.thetaSrc...)
+	l.params = append(l.params, l.thetaEdge...)
+	l.params = append(l.params, l.attnVector...)
 	return l
 }
 
 // OutDim returns the layer's output embedding width.
 func (l *GATLayer) OutDim() int { return l.Heads * l.HeadDim }
 
-// Params returns the trainable parameters.
-func (l *GATLayer) Params() []*autodiff.Value {
-	out := []*autodiff.Value{l.thetaS}
-	out = append(out, l.thetaDst...)
-	out = append(out, l.thetaSrc...)
-	out = append(out, l.thetaEdge...)
-	out = append(out, l.attnVector...)
-	return out
-}
+// Params returns the trainable parameters. The slice is cached — callers
+// must not mutate it.
+func (l *GATLayer) Params() []*autodiff.Value { return l.params }
 
 // Forward computes updated destination-node embeddings. vDst is nDst x InDst,
 // vSrc is nSrc x InSrc, eFeat is E x InEdge (one row per edge, aligned with
@@ -90,28 +90,32 @@ func (l *GATLayer) Forward(tp *autodiff.Tape, vDst, vSrc, eFeat *autodiff.Value,
 	nDst := vDst.Val.Rows
 	self := tp.MatMul(vDst, l.thetaS)
 
-	var heads []*autodiff.Value
+	// headsBuf keeps the per-head slice off the heap for realistic head
+	// counts (Forward runs once per layer per step — zero-alloc steady state).
+	var headsBuf [8]*autodiff.Value
+	heads := headsBuf[:0]
 	for k := 0; k < l.Heads; k++ {
 		hDst := tp.MatMul(vDst, l.thetaDst[k]) // nDst x dh
 		hSrc := tp.MatMul(vSrc, l.thetaSrc[k]) // nSrc x dh
 		hE := tp.MatMul(eFeat, l.thetaEdge[k]) // E x dh
 
-		gDst := tp.Gather(hDst, rel.Dst) // E x dh
 		gSrc := tp.Gather(hSrc, rel.Src) // E x dh
 
-		var alpha *autodiff.Value
+		var score *autodiff.Value
 		if l.Uniform {
 			// Mean aggregation: softmax over zero scores is uniform.
-			zeros := tp.Const(autodiff.NewTensor(rel.Len(), 1))
-			alpha = tp.SegmentSoftmax(zeros, rel.Dst, nDst)
+			score = tp.Const(tp.Zeros(rel.Len(), 1))
 		} else {
-			cat := tp.Concat(gDst, gSrc, hE)         // E x 3dh
-			score := tp.MatMul(cat, l.attnVector[k]) // E x 1
-			score = tp.LeakyReLU(score, l.Slope)     // Eq. (7)
-			alpha = tp.SegmentSoftmax(score, rel.Dst, nDst)
+			// Fused gather→concat builds [Θd·v_dst ‖ Θn·v_src ‖ Θe·e]; only
+			// the dst part is gathered here — gSrc stays a shared node so its
+			// gradient accumulates once, as in the composed graph.
+			cat := tp.GatherConcat(hDst, rel.Dst, gSrc, nil, hE) // E x 3dh
+			score = tp.MatMul(cat, l.attnVector[k])              // E x 1
+			score = tp.LeakyReLU(score, l.Slope)                 // Eq. (7)
 		}
-		msg := tp.MulColBroadcast(tp.Add(gSrc, hE), alpha) // E x dh
-		agg := tp.ScatterAddRows(msg, rel.Dst, nDst)       // nDst x dh
+		msg := tp.Add(gSrc, hE) // E x dh
+		// Fused segment-softmax → weighted scatter (Eq. 6 aggregation).
+		agg := tp.SegmentAttention(score, msg, rel.Dst, nDst) // nDst x dh
 		heads = append(heads, agg)
 	}
 	var aggAll *autodiff.Value
@@ -207,14 +211,16 @@ func (m *MLP) SetOutputBias(col int, v float64) {
 }
 
 // Forward applies the MLP with LeakyReLU between layers (linear output).
+// Each layer is one fused Linear/LinearLeakyReLU kernel.
 func (m *MLP) Forward(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 	h := x
 	for i := range m.weights {
 		tp.Watch(m.weights[i])
 		tp.Watch(m.biases[i])
-		h = tp.AddRowBroadcast(tp.MatMul(h, m.weights[i]), m.biases[i])
 		if i+1 < len(m.weights) {
-			h = tp.LeakyReLU(h, m.Slope)
+			h = tp.LinearLeakyReLU(h, m.weights[i], m.biases[i], m.Slope)
+		} else {
+			h = tp.Linear(h, m.weights[i], m.biases[i])
 		}
 	}
 	return h

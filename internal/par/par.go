@@ -68,22 +68,46 @@ func numChunks(n, grain int) int { return (n + grain - 1) / grain }
 // contract the result is bitwise identical for every worker count. With one
 // worker (or a single chunk) fn runs inline on the caller's goroutine —
 // no goroutines, no synchronisation, zero overhead over a plain loop.
+//
+// The fn closure itself is a heap allocation at the call site (it escapes
+// into the worker goroutines). Steady-state allocation-free kernels use
+// ForCtx with a static function instead.
 func For(n, grain int, fn func(lo, hi int)) {
+	ForCtx(n, grain, fn, callChunk)
+}
+
+func callChunk(fn func(lo, hi int), lo, hi int) { fn(lo, hi) }
+
+// ForCtx is For for closure-free kernels: fn must be a static (top-level)
+// function and all per-call state travels in ctx, so the call site performs
+// no heap allocation. The only allocating path is goroutine dispatch itself,
+// which is taken when more than one worker actually runs — with a single
+// worker or a single chunk the kernel is allocation-free. Same determinism
+// contract as For.
+func ForCtx[T any](n, grain int, ctx T, fn func(ctx T, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain <= 0 {
-		grain = 1
-	}
-	chunks := numChunks(n, grain)
-	workers := Workers()
-	if workers > chunks {
-		workers = chunks
-	}
+	// No parameter of this function may be reassigned: a reassigned-and-
+	// goroutine-captured variable is captured by reference, which forces a
+	// heap allocation in the prologue of EVERY call — including the serial
+	// fast path. That is why the dispatch loop lives in a separate function.
+	g := max(grain, 1)
+	chunks := numChunks(n, g)
+	workers := min(Workers(), chunks)
 	if workers <= 1 {
-		fn(0, n)
+		fn(ctx, 0, n)
 		return
 	}
+	forCtxParallel(n, g, chunks, workers, ctx, fn)
+}
+
+// forCtxParallel is the goroutine-dispatch path of ForCtx. Kept noinline so
+// its closure captures cannot leak escape decisions into ForCtx's serial
+// fast path.
+//
+//go:noinline
+func forCtxParallel[T any](n, grain, chunks, workers int, ctx T, fn func(ctx T, lo, hi int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -100,7 +124,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				fn(lo, hi)
+				fn(ctx, lo, hi)
 			}
 		}()
 	}

@@ -117,18 +117,35 @@ type Allocation struct {
 
 // NewAllocation creates a zero allocation shaped for the problem.
 func NewAllocation(p *Problem) *Allocation {
+	// Single backing slab: one allocation instead of one per flow (Solve
+	// creates an Allocation per call, so this is steady-state garbage).
+	total := 0
+	for i := range p.Flows {
+		total += len(p.Flows[i].Paths)
+	}
 	x := make([][]float64, len(p.Flows))
+	data := make([]float64, total)
+	off := 0
 	for i, f := range p.Flows {
-		x[i] = make([]float64, len(f.Paths))
+		n := len(f.Paths)
+		x[i] = data[off : off+n : off+n]
+		off += n
 	}
 	return &Allocation{X: x}
 }
 
 // Clone deep-copies the allocation.
 func (a *Allocation) Clone() *Allocation {
-	x := make([][]float64, len(a.X))
+	total := 0
 	for i := range a.X {
-		x[i] = append([]float64(nil), a.X[i]...)
+		total += len(a.X[i])
+	}
+	x := make([][]float64, len(a.X))
+	data := make([]float64, 0, total)
+	for i := range a.X {
+		off := len(data)
+		data = append(data, a.X[i]...)
+		x[i] = data[off:len(data):len(data)]
 	}
 	return &Allocation{X: x}
 }

@@ -282,9 +282,18 @@ func (m *Matrix) DensityFraction() float64 {
 // Flows whose endpoints resolve to the same satellite, or that have no
 // visible satellite, are skipped (they do not traverse the network).
 func BuildMatrix(flows map[FlowID]*Flow, loc *groundnet.SatLocator, minElevRad float64, numSats int) *Matrix {
+	// Aggregate in FlowID order: float summation order must not depend on
+	// map iteration, or the same scenario yields last-ulp-different demands
+	// across runs (breaking the bitwise determinism contract downstream).
+	ids := make([]FlowID, 0, len(flows))
+	for id := range flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	type key struct{ s, d constellation.SatID }
 	agg := make(map[key]*Demand)
-	for _, f := range flows {
+	for _, id := range ids {
+		f := flows[id]
 		s, ok1 := loc.NearestVisible(f.Src, minElevRad)
 		d, ok2 := loc.NearestVisible(f.Dst, minElevRad)
 		if !ok1 || !ok2 || s == d {

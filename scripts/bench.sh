@@ -1,0 +1,62 @@
+#!/bin/sh
+# Core benchmark runner with two modes:
+#
+#   bench.sh smoke   - every core benchmark once (-benchtime=1x): catches
+#                      benchmarks that crash or regress to non-compiling.
+#                      Wired into scripts/check.sh.
+#   bench.sh full    - real measurement (-benchtime=3x -count=2) of the core
+#                      set; appends a perf-trajectory snapshot to
+#                      BENCH_<YYYY-MM-DD>.json so successive PRs can compare
+#                      ns/op, B/op and allocs/op over time.
+#
+# The core set covers the hot paths the perf PRs target: SaTE inference at
+# two scales, the zero-allocation tape-reuse step, the matmul kernel, and
+# the k-shortest path search.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-smoke}"
+CORE_ROOT='BenchmarkSaTEInference66|BenchmarkSaTEInference396|BenchmarkGridKShortestStarlink'
+CORE_AUTODIFF='BenchmarkTapeReuseForwardBackward|BenchmarkTapeFreshForwardBackward|BenchmarkParMatMulSerial|BenchmarkParSegmentSoftmaxSerial'
+
+case "$MODE" in
+smoke)
+	echo "== bench smoke (1x) =="
+	go test -run '^$' -bench "$CORE_ROOT" -benchtime=1x .
+	go test -run '^$' -bench "$CORE_AUTODIFF" -benchtime=1x ./internal/autodiff/
+	;;
+full)
+	DATE="$(date +%Y-%m-%d)"
+	OUT="BENCH_${DATE}.json"
+	TMP="$(mktemp)"
+	trap 'rm -f "$TMP"' EXIT
+	echo "== bench full (3x, count=2) -> $OUT =="
+	go test -run '^$' -bench "$CORE_ROOT" -benchtime=3x -count=2 . | tee -a "$TMP"
+	go test -run '^$' -bench "$CORE_AUTODIFF" -benchtime=3x -count=2 ./internal/autodiff/ | tee -a "$TMP"
+	# Convert "BenchmarkX  N  T ns/op  B B/op  A allocs/op" lines to JSON.
+	{
+		echo '{'
+		echo "  \"date\": \"${DATE}\","
+		echo "  \"go\": \"$(go env GOVERSION)\","
+		echo '  "results": ['
+		awk '/^Benchmark/ {
+			name=$1; ns=""; bytes=""; allocs="";
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns=$i;
+				if ($(i+1) == "B/op") bytes=$i;
+				if ($(i+1) == "allocs/op") allocs=$i;
+			}
+			printf "%s    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", sep, name, ns, (bytes==""?"null":bytes), (allocs==""?"null":allocs);
+			sep=",\n"
+		}
+		END { print "" }' "$TMP"
+		echo '  ]'
+		echo '}'
+	} >"$OUT"
+	echo "wrote $OUT"
+	;;
+*)
+	echo "usage: $0 [smoke|full]" >&2
+	exit 2
+	;;
+esac

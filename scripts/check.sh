@@ -13,6 +13,8 @@ echo "== satelint =="
 go run ./cmd/satelint ./...
 echo "== go test =="
 go test ./...
+echo "== bench smoke =="
+./scripts/bench.sh smoke
 if [ "${RACE:-0}" = "1" ]; then
 	echo "== race =="
 	./scripts/race.sh
