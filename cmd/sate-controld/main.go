@@ -8,10 +8,14 @@
 //	sate-controld -cons iridium -method ecmp-wf -listen :8080 -interval 5
 //	curl localhost:8080/status
 //	curl localhost:8080/rules?node=12
+//	curl localhost:8080/metrics
 //	curl -X POST -d '{"time_sec": 300}' localhost:8080/recompute
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -22,6 +26,8 @@ import (
 	"sate/internal/constellation"
 	"sate/internal/controller"
 	"sate/internal/core"
+	"sate/internal/obs"
+	"sate/internal/par"
 	"sate/internal/sim"
 	"sate/internal/topology"
 )
@@ -82,30 +88,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := controller.New(scen, solver)
-	stop := make(chan struct{})
+	reg := obs.NewRegistry()
+	reg.CollectGoRuntime()
+	par.Observe(reg)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	srv := controller.New(scen, solver, controller.WithRegistry(reg))
 	errc := make(chan error, 2)
 	//lint:ignore no-naked-goroutine server lifecycle, not compute parallelism: the tick loop runs for the process lifetime
-	go func() { errc <- srv.Run(*start, *interval, stop) }()
+	go func() { errc <- srv.RunContext(ctx, controller.RunConfig{StartSec: *start, IntervalSec: *interval}) }()
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	//lint:ignore no-naked-goroutine server lifecycle, not compute parallelism: ListenAndServe blocks until shutdown
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	fmt.Printf("sate-controld: %s, method %s, interval %gs, listening on %s\n",
 		cons.Name, solver.Name(), *interval, *listen)
+	fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", *listen, *listen)
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
 	select {
 	case err := <-errc:
-		if err != nil && err != http.ErrServerClosed {
+		if err != nil && err != http.ErrServerClosed && !errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	case <-sigc:
+	case <-ctx.Done():
 		fmt.Println("shutting down")
 	}
-	close(stop)
+	cancel()
 	if err := httpSrv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}

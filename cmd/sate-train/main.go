@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sate-train -cons iridium -samples 6 -epochs 20 -intensity 80
+//	sate-train -cons iridium -metrics -  # dump Prometheus metrics to stderr
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"sate/internal/baselines"
 	"sate/internal/constellation"
 	"sate/internal/core"
+	"sate/internal/obs"
+	"sate/internal/par"
 	"sate/internal/sim"
 	"sate/internal/topology"
 )
@@ -32,8 +35,16 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		savePath  = flag.String("save", "", "save the trained model to this file")
 		loadPath  = flag.String("load", "", "load a model instead of training from scratch")
+		metrics   = flag.String("metrics", "", "write Prometheus-text metrics here after the run (\"-\" = stderr)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		reg.CollectGoRuntime()
+		par.Observe(reg)
+	}
 
 	cons, ok := constellation.ByName(*consName)
 	if !ok {
@@ -88,6 +99,7 @@ func main() {
 
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = *epochs
+	tc.Registry = reg
 	tc.Log = func(ep int, loss float64) {
 		if ep%5 == 0 || ep == *epochs-1 {
 			fmt.Printf("  epoch %3d  loss %.5f\n", ep, loss)
@@ -137,5 +149,26 @@ func main() {
 			500+float64(i)*23,
 			100*p.SatisfiedDemand(a), lat.Round(time.Microsecond),
 			100*p.SatisfiedDemand(ref), 100*p.SatisfiedDemand(ecmp))
+	}
+
+	if reg != nil {
+		out := os.Stderr
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+			out = f
+		}
+		if err := reg.WritePrometheus(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

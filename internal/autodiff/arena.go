@@ -74,6 +74,14 @@ type arena struct {
 	ints slab[int]
 	f64s slab[float64]
 	vals slab[*Value]
+
+	// Plain (non-atomic) observability counters: the arena is
+	// single-threaded by design, and readers sample them between passes via
+	// Tape.ArenaStats. Keeping them raw uint64s costs one increment per
+	// tensor request and preserves the 0-allocs/op steady state.
+	reused    uint64 // tensor requests served from a free-list
+	allocated uint64 // tensor requests that hit the heap
+	resets    uint64 // reset() calls (one per pass in steady state)
 }
 
 func shapeKey(rows, cols int) uint64 {
@@ -89,6 +97,7 @@ func (a *arena) tensor(rows, cols int) *Tensor {
 		a.free[key] = fl[:len(fl)-1]
 		clear(t.Data)
 		a.owned = append(a.owned, t)
+		a.reused++
 		return t
 	}
 	if a.free == nil {
@@ -96,6 +105,7 @@ func (a *arena) tensor(rows, cols int) *Tensor {
 	}
 	t := NewTensor(rows, cols)
 	a.owned = append(a.owned, t)
+	a.allocated++
 	return t
 }
 
@@ -128,4 +138,5 @@ func (a *arena) reset() {
 	a.ints.reset()
 	a.f64s.reset()
 	a.vals.reset()
+	a.resets++
 }

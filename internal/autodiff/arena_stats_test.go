@@ -1,0 +1,36 @@
+package autodiff
+
+import "testing"
+
+// TestArenaStatsCountReuse checks the arena's observability counters: the
+// first pass allocates tensors from the heap, every later same-shape pass is
+// served entirely from the free-lists (the §8 recycling that the training
+// loop exports as sate_tape_tensor_{reuse,alloc}_total).
+func TestArenaStatsCountReuse(t *testing.T) {
+	tp := NewTape()
+	pass := func() {
+		a := tp.Const(tp.Zeros(4, 3))
+		b := tp.Const(tp.Zeros(4, 3))
+		tp.Backward(tp.SumAll(tp.Mul(a, b)))
+	}
+	pass()
+	st1 := tp.ArenaStats()
+	if st1.TensorAlloc == 0 {
+		t.Fatal("first pass allocated nothing")
+	}
+	if st1.Resets != 0 {
+		t.Fatalf("resets = %d before any Reset", st1.Resets)
+	}
+	tp.Reset()
+	pass()
+	st2 := tp.ArenaStats()
+	if st2.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", st2.Resets)
+	}
+	if st2.TensorAlloc != st1.TensorAlloc {
+		t.Fatalf("steady-state pass hit the heap: %d -> %d allocs", st1.TensorAlloc, st2.TensorAlloc)
+	}
+	if st2.TensorReuse <= st1.TensorReuse {
+		t.Fatalf("no free-list reuse recorded: %d -> %d", st1.TensorReuse, st2.TensorReuse)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sate/internal/obs"
 	"sate/internal/par"
 )
 
@@ -178,10 +179,16 @@ func TestAdamParallelMatchesSerial(t *testing.T) {
 
 // TestTapeReuseZeroAllocs verifies the tentpole claim: after warm-up, a full
 // forward/backward/optimizer step on a reused tape performs zero heap
-// allocations (serial path — parallel dispatch spawns goroutines).
+// allocations (serial path — parallel dispatch spawns goroutines). The pool
+// metrics are enabled for the run: instrumentation must not cost an alloc.
 func TestTapeReuseZeroAllocs(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("race runtime perturbs alloc accounting (see obs.RaceEnabled)")
+	}
 	restore := par.SetWorkers(1)
 	defer restore()
+	par.Observe(obs.NewRegistry())
+	defer par.Observe(nil)
 	rng := rand.New(rand.NewSource(5))
 	w1 := Param(NewTensor(13, 16).Randn(rng, 1))
 	b1 := Param(NewTensor(1, 16))

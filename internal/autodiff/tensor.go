@@ -133,6 +133,30 @@ func (tp *Tape) Reset() {
 	tp.arena.reset()
 }
 
+// ArenaStats is a snapshot of the tape arena's recycling counters — the
+// live view of the memory model of DESIGN.md §8. In steady state TensorAlloc
+// stops growing while TensorReuse advances by the per-pass tensor count;
+// training loops export the deltas as obs counters (DESIGN.md §9).
+type ArenaStats struct {
+	// TensorReuse counts tensor requests served from a shape free-list.
+	TensorReuse uint64
+	// TensorAlloc counts tensor requests that allocated fresh heap slabs.
+	TensorAlloc uint64
+	// Resets counts arena reset cycles (one per forward/backward pass).
+	Resets uint64
+}
+
+// ArenaStats returns the tape's cumulative arena counters. Like the arena
+// itself it is meant to be read from the goroutine that issues ops —
+// typically between passes.
+func (tp *Tape) ArenaStats() ArenaStats {
+	return ArenaStats{
+		TensorReuse: tp.arena.reused,
+		TensorAlloc: tp.arena.allocated,
+		Resets:      tp.arena.resets,
+	}
+}
+
 // Zeros returns a zeroed rows x cols tensor owned by the tape's arena. It is
 // valid until the next Reset; use it for per-pass constants and feature
 // staging instead of NewTensor.

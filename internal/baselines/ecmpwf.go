@@ -3,6 +3,7 @@ package baselines
 import (
 	"math"
 
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -20,7 +21,8 @@ type ECMPWF struct {
 func (ECMPWF) Name() string { return "ecmp-wf" }
 
 // Solve implements Solver.
-func (s ECMPWF) Solve(p *te.Problem) (*te.Allocation, error) {
+func (s ECMPWF) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	defer solve.Begin(solve.Build(opts...), "ecmp-wf").End()
 	rounds := s.Rounds
 	if rounds <= 0 {
 		rounds = 64

@@ -3,6 +3,7 @@ package baselines
 import (
 	"math"
 
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -24,7 +25,8 @@ type GK struct {
 func (GK) Name() string { return "gk" }
 
 // Solve implements Solver.
-func (g GK) Solve(p *te.Problem) (*te.Allocation, error) {
+func (g GK) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	defer solve.Begin(solve.Build(opts...), "gk").End()
 	eps := g.Epsilon
 	if eps <= 0 || eps >= 1 {
 		eps = 0.1

@@ -6,6 +6,7 @@ import (
 
 	"sate/internal/autodiff"
 	"sate/internal/gnn"
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -131,7 +132,8 @@ func (h *Harp) forward(tp *autodiff.Tape, p *te.Problem) (*autodiff.Value, []int
 }
 
 // Solve implements Solver: full-demand softmax routing then trim.
-func (h *Harp) Solve(p *te.Problem) (*te.Allocation, error) {
+func (h *Harp) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	defer solve.Begin(solve.Build(opts...), "harp").End()
 	alloc := te.NewAllocation(p)
 	tp := h.solveTapes.get()
 	defer h.solveTapes.put(tp)

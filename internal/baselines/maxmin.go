@@ -3,6 +3,7 @@ package baselines
 import (
 	"math"
 
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -21,7 +22,8 @@ type MaxMinFair struct {
 func (MaxMinFair) Name() string { return "maxmin-fair" }
 
 // Solve implements Solver.
-func (s MaxMinFair) Solve(p *te.Problem) (*te.Allocation, error) {
+func (s MaxMinFair) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	defer solve.Begin(solve.Build(opts...), "maxmin-fair").End()
 	rounds := s.Rounds
 	if rounds <= 0 {
 		rounds = 128

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -27,8 +28,11 @@ type POP struct {
 // Name implements Solver.
 func (POP) Name() string { return "pop" }
 
-// Solve implements Solver.
-func (s *POP) Solve(p *te.Problem) (*te.Allocation, error) {
+// Solve implements Solver. Options are forwarded to the subproblem solver,
+// so instrumented runs also record per-subproblem latencies under the inner
+// solver's name.
+func (s *POP) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	defer solve.Begin(solve.Build(opts...), "pop").End()
 	k := s.K
 	if k <= 1 {
 		k = 4
@@ -70,7 +74,7 @@ func (s *POP) Solve(p *te.Problem) (*te.Allocation, error) {
 			return nil, err
 		}
 		start := time.Now()
-		sa, err := inner.Solve(sub)
+		sa, err := inner.Solve(sub, opts...)
 		if el := time.Since(start); el > s.MaxSubLatency {
 			s.MaxSubLatency = el
 		}

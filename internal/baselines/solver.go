@@ -18,13 +18,19 @@ import (
 	"time"
 
 	"sate/internal/lp"
+	"sate/internal/obs"
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
-// Solver computes a feasible TE allocation for a problem.
+// Solver computes a feasible TE allocation for a problem. Every solver in
+// the repo shares the unified variadic signature of the solve package:
+// options select the objective, inject an obs registry, or override the
+// worker budget, and `Solve(p)` with no options behaves exactly as the
+// pre-redesign methods did.
 type Solver interface {
 	Name() string
-	Solve(p *te.Problem) (*te.Allocation, error)
+	Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error)
 }
 
 // LPExact solves the TE LP exactly with the dense simplex. Suitable for
@@ -36,7 +42,9 @@ type LPExact struct{}
 func (LPExact) Name() string { return "lp-exact" }
 
 // Solve implements Solver.
-func (LPExact) Solve(p *te.Problem) (*te.Allocation, error) {
+func (LPExact) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	o := solve.Build(opts...)
+	defer solve.Begin(o, "lp-exact").End()
 	rows, b, colOf := buildRows(p)
 	n := p.NumPaths()
 	c := make([]float64, n)
@@ -55,7 +63,9 @@ func (LPExact) Solve(p *te.Problem) (*te.Allocation, error) {
 		}
 	}
 	_ = rows
+	sp := o.Registry.StartSpan(obs.PhaseLPSolve)
 	res, err := lp.Maximize(c, a, b)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +164,12 @@ type LPAuto struct {
 // Name implements Solver.
 func (LPAuto) Name() string { return "lp-auto" }
 
-// Solve implements Solver.
-func (s LPAuto) Solve(p *te.Problem) (*te.Allocation, error) {
+// Solve implements Solver. Options are forwarded to the solver the
+// size heuristic picks, so instrumented runs record the latency under both
+// "lp-auto" and the concrete solver's name.
+func (s LPAuto) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	o := solve.Build(opts...)
+	defer solve.Begin(o, "lp-auto").End()
 	maxCells := s.MaxDenseCells
 	if maxCells == 0 {
 		maxCells = 4_000_000
@@ -163,13 +177,13 @@ func (s LPAuto) Solve(p *te.Problem) (*te.Allocation, error) {
 	n := p.NumPaths()
 	_, b, _ := buildRows(p)
 	if len(b)*n <= maxCells {
-		return LPExact{}.Solve(p)
+		return LPExact{}.Solve(p, opts...)
 	}
 	eps := s.Epsilon
 	if eps == 0 {
 		eps = 0.05
 	}
-	return GK{Epsilon: eps}.Solve(p)
+	return GK{Epsilon: eps}.Solve(p, opts...)
 }
 
 // Timed wraps a solver and records wall-clock solve latency.
@@ -183,9 +197,9 @@ type Timed struct {
 func (t *Timed) Name() string { return t.Inner.Name() }
 
 // Solve implements Solver.
-func (t *Timed) Solve(p *te.Problem) (*te.Allocation, error) {
+func (t *Timed) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
 	start := time.Now()
-	a, err := t.Inner.Solve(p)
+	a, err := t.Inner.Solve(p, opts...)
 	t.LastLatency = time.Since(start)
 	return a, err
 }

@@ -6,6 +6,7 @@ import (
 
 	"sate/internal/autodiff"
 	"sate/internal/gnn"
+	"sate/internal/solve"
 	"sate/internal/te"
 	"sate/internal/topology"
 )
@@ -195,7 +196,8 @@ func (t *Teal) forward(tp *autodiff.Tape, p *te.Problem) (scores *autodiff.Value
 
 // Solve implements Solver: per-flow softmax over frozen path slots scaled by
 // demand, then trim.
-func (t *Teal) Solve(p *te.Problem) (*te.Allocation, error) {
+func (t *Teal) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	defer solve.Begin(solve.Build(opts...), "teal").End()
 	alloc := te.NewAllocation(p)
 	tp := t.solveTapes.get()
 	defer t.solveTapes.put(tp)

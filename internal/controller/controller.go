@@ -4,18 +4,29 @@
 // baseline), compiles it into per-satellite rules, and serves status,
 // allocations and flow tables over JSON — the interface satellites (or an
 // operator) would poll in the SDN workflow of Sec. 2.2.
+//
+// With a registry attached (WithRegistry), the server also exposes
+// Prometheus-text metrics on GET /metrics and the standard pprof profiles
+// under /debug/pprof/ (DESIGN.md §9). Neither endpoint spawns goroutines:
+// metrics are pulled at scrape time and pprof handlers run on the serving
+// goroutine, so no satelint no-naked-goroutine allowlist entry is needed.
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
+	"sate/internal/obs"
 	"sate/internal/rules"
 	"sate/internal/sim"
+	"sate/internal/solve"
 	"sate/internal/te"
 	"sate/internal/topology"
 )
@@ -25,8 +36,47 @@ type Server struct {
 	scen   *sim.Scenario
 	solver sim.Allocator
 
+	registry   *obs.Registry
+	metrics    srvObs
+	solverOpts []solve.Option // pre-built so Recompute passes opts without allocating
+
 	mu    sync.Mutex
 	state *cycleState
+}
+
+// srvObs bundles the controller's metric handles, pre-resolved at New so the
+// recompute path performs only atomic updates. Every handle is nil — and
+// every update a no-op — when no registry is attached.
+type srvObs struct {
+	cycleSeconds *obs.Histogram
+	cyclesTotal  *obs.Counter
+	errorsTotal  *obs.Counter
+	encodeErrors *obs.Counter
+	satisfied    *obs.Gauge
+	throughput   *obs.Gauge
+	mlu          *obs.Gauge
+	flows        *obs.Gauge
+	rulesCount   *obs.Gauge
+	cycleAlloc   *obs.Gauge
+	spPaths      *obs.Histogram
+	spRules      *obs.Histogram
+}
+
+func newSrvObs(reg *obs.Registry) srvObs {
+	return srvObs{
+		cycleSeconds: reg.Histogram("sate_controld_cycle_seconds", obs.DefLatencyBuckets),
+		cyclesTotal:  reg.Counter("sate_controld_cycles_total"),
+		errorsTotal:  reg.Counter("sate_controld_errors_total"),
+		encodeErrors: reg.Counter("sate_controld_encode_errors_total"),
+		satisfied:    reg.Gauge("sate_controld_satisfied_ratio"),
+		throughput:   reg.Gauge("sate_controld_throughput_mbps"),
+		mlu:          reg.Gauge("sate_controld_mlu"),
+		flows:        reg.Gauge("sate_controld_flows"),
+		rulesCount:   reg.Gauge("sate_controld_rules"),
+		cycleAlloc:   reg.Gauge("sate_controld_cycle_alloc_bytes"),
+		spPaths:      reg.SpanHistogram(obs.PhasePathPrecompute),
+		spRules:      reg.SpanHistogram(obs.PhaseRuleCompile),
+	}
 }
 
 // cycleState is the outcome of one TE workflow cycle.
@@ -39,28 +89,100 @@ type cycleState struct {
 	ComputedAt   time.Time
 }
 
-// New creates a controller over a scenario with the given solver.
-func New(scen *sim.Scenario, solver sim.Allocator) *Server {
-	return &Server{scen: scen, solver: solver}
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithRegistry attaches an observability registry: per-cycle latency
+// histogram and heap-allocation gauge, satisfied-demand / throughput / MLU
+// gauges, error counters, the /metrics endpoint, and the per-solve
+// histograms recorded by the solver itself. Nil leaves instrumentation off.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Server) { s.registry = r }
 }
 
-// Recompute runs one full TE workflow cycle at simulated time t: traffic
-// matrix acquisition, topology determination, path (re)configuration, TE
-// computation, and rule compilation. It returns the new cycle state.
+// New creates a controller over a scenario with the given solver. The
+// variadic options keep pre-redesign `New(scen, solver)` call sites
+// compiling unchanged.
+func New(scen *sim.Scenario, solver sim.Allocator, opts ...Option) *Server {
+	s := &Server{scen: scen, solver: solver}
+	for _, o := range opts {
+		o(s)
+	}
+	s.metrics = newSrvObs(s.registry)
+	if s.registry != nil {
+		s.solverOpts = []solve.Option{solve.WithRegistry(s.registry)}
+	}
+	return s
+}
+
+// Registry returns the attached observability registry (nil if none).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// Recompute runs one full TE workflow cycle at simulated time t.
+//
+// Deprecated: Recompute is the pre-redesign spelling; it is equivalent to
+// RecomputeContext(context.Background(), tSec) and remains a supported thin
+// wrapper.
 func (s *Server) Recompute(tSec float64) error {
+	return s.RecomputeContext(context.Background(), tSec)
+}
+
+// RecomputeContext runs one full TE workflow cycle at simulated time t:
+// traffic matrix acquisition, topology determination, path
+// (re)configuration, TE computation, and rule compilation. Cancelling the
+// context abandons the cycle between phases (a phase in flight runs to
+// completion — the solver is not preemptible).
+func (s *Server) RecomputeContext(ctx context.Context, tSec float64) (err error) {
+	m := &s.metrics
+	defer func() {
+		if err != nil {
+			m.errorsTotal.Inc()
+		}
+	}()
+	var memBefore runtime.MemStats
+	if s.registry != nil {
+		runtime.ReadMemStats(&memBefore)
+	}
+	cycle := obs.StartTimer(m.cycleSeconds)
+	if err = ctx.Err(); err != nil {
+		return err
+	}
+	sp := obs.StartTimer(m.spPaths)
 	p, _, _, err := s.scen.ProblemAt(tSec)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("controller: building problem: %w", err)
 	}
+	if err = ctx.Err(); err != nil {
+		return err
+	}
 	start := time.Now()
-	alloc, err := s.solver.Solve(p)
+	alloc, err := s.solver.Solve(p, s.solverOpts...)
 	lat := time.Since(start)
 	if err != nil {
 		return fmt.Errorf("controller: solving: %w", err)
 	}
+	if err = ctx.Err(); err != nil {
+		return err
+	}
+	sp = obs.StartTimer(m.spRules)
 	rs := rules.Compile(p, alloc)
 	if err := rules.Verify(p, alloc, rs); err != nil {
+		sp.End()
 		return fmt.Errorf("controller: rule verification: %w", err)
+	}
+	sp.End()
+	cycle.End()
+	m.cyclesTotal.Inc()
+	m.satisfied.Set(p.SatisfiedDemand(alloc))
+	m.throughput.Set(alloc.Throughput())
+	m.mlu.Set(p.MLU(alloc))
+	m.flows.Set(float64(len(p.Flows)))
+	m.rulesCount.Set(float64(rs.NumRules()))
+	if s.registry != nil {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		m.cycleAlloc.Set(float64(memAfter.TotalAlloc - memBefore.TotalAlloc))
 	}
 	s.mu.Lock()
 	s.state = &cycleState{
@@ -71,7 +193,9 @@ func (s *Server) Recompute(tSec float64) error {
 	return nil
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes. With a registry attached it additionally
+// serves GET /metrics (Prometheus text format 0.0.4) and the pprof profile
+// endpoints under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +207,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /allocation", s.handleAllocation)
 	mux.HandleFunc("GET /rules", s.handleRules)
 	mux.HandleFunc("POST /recompute", s.handleRecompute)
+	if s.registry != nil {
+		mux.Handle("GET /metrics", s.registry.Handler())
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -92,10 +224,17 @@ func (s *Server) snapshot() *cycleState {
 	return s.state
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON commits a 200 with an explicit status line before encoding. A
+// mid-encode failure can no longer smuggle an http.Error into a half-written
+// body (the old bug: Encode had already streamed partial JSON and an
+// implicit 200 before the 500 was attempted); instead the failure is counted
+// on sate_controld_encode_errors_total and the connection is left to the
+// client to detect via truncation.
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.metrics.encodeErrors.Inc()
 	}
 }
 
@@ -119,7 +258,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, StatusResponse{
+	s.writeJSON(w, StatusResponse{
 		Method:          s.solver.Name(),
 		TimeSec:         st.TimeSec,
 		Flows:           len(st.Problem.Flows),
@@ -158,7 +297,7 @@ func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
 			PerPath:    append([]float64(nil), st.Alloc.X[fi]...),
 		})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // RuleEntry is one flow-table row in the /rules payload.
@@ -198,7 +337,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // recomputeRequest is the /recompute body.
@@ -216,30 +355,56 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "time_sec must be non-negative", http.StatusBadRequest)
 		return
 	}
-	if err := s.Recompute(req.TimeSec); err != nil {
+	if err := s.RecomputeContext(r.Context(), req.TimeSec); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.handleStatus(w, r)
 }
 
-// Run drives the periodic TE workflow: every interval of wall time it
+// RunConfig parameterises the periodic TE workflow loop.
+type RunConfig struct {
+	// StartSec is the simulated time of the first cycle.
+	StartSec float64
+	// IntervalSec is both the wall-clock tick and the simulated-time advance
+	// per cycle.
+	IntervalSec float64
+}
+
+// RunContext drives the periodic TE workflow: every interval of wall time it
 // advances simulated time by the same amount and recomputes. It blocks until
-// the stop channel closes.
+// the context is cancelled (returning ctx.Err()) or a cycle fails.
+func (s *Server) RunContext(ctx context.Context, cfg RunConfig) error {
+	return s.run(ctx, cfg, nil)
+}
+
+// Run drives the periodic TE workflow until the stop channel closes.
+//
+// Deprecated: Run is the pre-redesign spelling; prefer RunContext. It
+// remains a supported thin wrapper and returns nil when stopped.
 func (s *Server) Run(startSec, intervalSec float64, stop <-chan struct{}) error {
-	t := startSec
-	if err := s.Recompute(t); err != nil {
+	return s.run(context.Background(), RunConfig{StartSec: startSec, IntervalSec: intervalSec}, stop)
+}
+
+// run is the loop shared by RunContext and the deprecated Run: it selects on
+// both the context and the legacy stop channel (a nil channel never fires),
+// so the channel-based API needs no adapter goroutine.
+func (s *Server) run(ctx context.Context, cfg RunConfig, stop <-chan struct{}) error {
+	t := cfg.StartSec
+	if err := s.RecomputeContext(ctx, t); err != nil {
 		return err
 	}
-	ticker := time.NewTicker(time.Duration(intervalSec * float64(time.Second)))
+	ticker := time.NewTicker(time.Duration(cfg.IntervalSec * float64(time.Second)))
 	defer ticker.Stop()
 	for {
 		select {
+		case <-ctx.Done():
+			return ctx.Err()
 		case <-stop:
 			return nil
 		case <-ticker.C:
-			t += intervalSec
-			if err := s.Recompute(t); err != nil {
+			t += cfg.IntervalSec
+			if err := s.RecomputeContext(ctx, t); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,204 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/obs"
+	"sate/internal/sim"
+	"sate/internal/topology"
+)
+
+func testServerWithRegistry(t *testing.T) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	scen := sim.NewScenario(constellation.Toy(5, 6), sim.ScenarioConfig{
+		Mode:              topology.CrossShellLasers,
+		Intensity:         6,
+		Seed:              7,
+		MinElevDeg:        5,
+		FlowDurationScale: 0.05,
+	})
+	reg := obs.NewRegistry()
+	reg.CollectGoRuntime()
+	srv := New(scen, baselines.ECMPWF{}, WithRegistry(reg))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, reg
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts, _ := testServerWithRegistry(t)
+
+	// Scrapable before the first cycle; every sample line well-formed.
+	out := scrape(t, ts.URL+"/metrics")
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+
+	if err := srv.Recompute(100); err != nil {
+		t.Fatal(err)
+	}
+	out = scrape(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"sate_controld_cycles_total 1",
+		`sate_solve_seconds_count{solver="ecmp-wf"} 1`,
+		"sate_controld_cycle_seconds_count 1",
+		"sate_controld_satisfied_ratio ",
+		"sate_controld_rules ",
+		"go_heap_alloc_bytes ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in scrape:\n%s", want, out)
+		}
+	}
+
+	// The solve histogram visibly moves with another cycle.
+	if err := srv.Recompute(105); err != nil {
+		t.Fatal(err)
+	}
+	out = scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(out, `sate_solve_seconds_count{solver="ecmp-wf"} 2`) {
+		t.Fatalf("solve histogram did not move:\n%s", out)
+	}
+	if g := srv.Registry().Gauge("sate_controld_satisfied_ratio").Value(); g < 0 || g > 1 {
+		t.Fatalf("satisfied ratio out of range: %v", g)
+	}
+}
+
+func TestMetricsDeterministicOrdering(t *testing.T) {
+	srv, ts, _ := testServerWithRegistry(t)
+	if err := srv.Recompute(100); err != nil {
+		t.Fatal(err)
+	}
+	// Go-runtime gauges sample live state; compare only registered families,
+	// which must render byte-identically across scrapes of unchanged state.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "go_") || strings.Contains(line, "seconds") {
+				continue // live runtime samples and timing histograms vary
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	a := scrape(t, ts.URL+"/metrics")
+	b := scrape(t, ts.URL+"/metrics")
+	if strip(a) != strip(b) {
+		t.Fatalf("scrapes differ:\n%s\n---\n%s", strip(a), strip(b))
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	_, ts, _ := testServerWithRegistry(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestNoMetricsWithoutRegistry(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("metrics without registry = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRecomputeContextCancelled(t *testing.T) {
+	srv, _, reg := testServerWithRegistry(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.RecomputeContext(ctx, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled recompute = %v, want context.Canceled", err)
+	}
+	if got := reg.Counter("sate_controld_errors_total").Value(); got != 1 {
+		t.Fatalf("errors_total = %d, want 1", got)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	srv, _, _ := testServerWithRegistry(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.RunContext(ctx, RunConfig{StartSec: 100, IntervalSec: 0.05}) }()
+	for i := 0; i < 200; i++ {
+		if st := srv.snapshot(); st != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not stop on cancel")
+	}
+	if st := srv.snapshot(); st == nil {
+		t.Fatal("run loop never computed")
+	}
+}
+
+func TestStatusExplicitOK(t *testing.T) {
+	srv, ts, _ := testServerWithRegistry(t)
+	if err := srv.Recompute(100); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+}

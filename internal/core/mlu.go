@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"sate/internal/autodiff"
+	"sate/internal/obs"
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -18,9 +20,16 @@ import (
 // throughput-maximizing GNN's objective", retaining components not perfectly
 // suited to MLU — reproduced here by keeping the architecture identical and
 // swapping only the loss.
-func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64) ([]float64, error) {
+// The optional trailing registry wires per-epoch loss, step latency and
+// tape-arena counters into obs (same keys as Train, DESIGN.md §9); the
+// variadic spelling keeps pre-redesign call sites compiling unchanged.
+func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64, registry ...*obs.Registry) ([]float64, error) {
 	if len(problems) == 0 {
 		return nil, fmt.Errorf("core: no training problems")
+	}
+	var reg *obs.Registry
+	if len(registry) > 0 {
+		reg = registry[0]
 	}
 	opt := autodiff.NewAdam(lr, m.Params()...)
 	opt.ClipNorm = 5
@@ -66,43 +75,71 @@ func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64) ([]float
 		units = append(units, u)
 	}
 
+	to := newTrainObs(reg)
 	tp := autodiff.NewTape()
 	for ep := 0; ep < epochs; ep++ {
 		var sum float64
 		for _, u := range units {
 			g, p := u.g, u.p
 			tp.Reset()
+			step := obs.StartTimer(to.stepSeconds)
+			sp := obs.StartTimer(to.spForward)
 			scores, _ := m.Forward(tp, g)
 			alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
 			x := tp.Mul(alpha, tp.Const(tp.TensorFrom(g.NumPaths, 1, u.demand)))
 			loads := tp.ScatterAddRows(tp.Gather(x, u.varIdx), u.linkIdx, len(p.Links))
 			util := tp.Mul(loads, tp.Const(tp.TensorFrom(len(p.Links), 1, u.invCap)))
 			loss := tp.Scale(tp.SumAll(tp.Exp(tp.Scale(util, beta))), 1/beta)
+			sp.End()
 			opt.ZeroGrad()
+			sp = obs.StartTimer(to.spBackward)
 			tp.Backward(loss)
+			sp.End()
+			sp = obs.StartTimer(to.spAdam)
 			opt.Step()
+			sp.End()
+			step.End()
 			lv := loss.Val.Data[0]
 			if math.IsNaN(lv) || math.IsInf(lv, 0) {
 				return nil, fmt.Errorf("core: MLU loss diverged at epoch %d", ep)
 			}
 			sum += lv
 		}
-		perEpoch = append(perEpoch, sum/float64(len(problems)))
+		mean := sum / float64(len(problems))
+		perEpoch = append(perEpoch, mean)
+		to.epoch(tp, mean)
 	}
 	return perEpoch, nil
 }
 
 // SolveMLU computes an allocation under the MLU objective: full demand is
 // routed via the softmax split (no gating), then trimmed for feasibility.
-func (m *Model) SolveMLU(p *te.Problem) (*te.Allocation, error) {
+//
+// Deprecated: SolveMLU is the pre-redesign spelling; it is equivalent to
+// Solve(p, solve.WithObjective(solve.MLU), opts...). It remains a supported
+// thin wrapper.
+func (m *Model) SolveMLU(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	return m.solveMLU(p, solve.Build(opts...))
+}
+
+// solveMLU is the MLU inference path shared by Solve (objective routing)
+// and the deprecated SolveMLU wrapper.
+func (m *Model) solveMLU(p *te.Problem, o solve.Options) (*te.Allocation, error) {
+	a := solve.Begin(o, "sate-mlu")
+	defer a.End()
+	sp := o.Registry.StartSpan(obs.PhaseGraphBuild)
 	g := BuildTEGraph(p)
+	sp.End()
 	alloc := te.NewAllocation(p)
 	if g.NumPaths == 0 {
 		return alloc, nil
 	}
 	tp := m.inferenceTape()
+	sp = o.Registry.StartSpan(obs.PhaseForward)
 	scores, _ := m.Forward(tp, g)
 	alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
+	sp.End()
+	sp = o.Registry.StartSpan(obs.PhaseDecode)
 	for fi, vars := range g.FlowVars {
 		for pi, j := range vars {
 			alloc.X[fi][pi] = alpha.Val.Data[j] * p.Flows[fi].DemandMbps
@@ -110,5 +147,6 @@ func (m *Model) SolveMLU(p *te.Problem) (*te.Allocation, error) {
 	}
 	m.returnTape(tp)
 	p.Trim(alloc)
+	sp.End()
 	return alloc, nil
 }

@@ -6,6 +6,8 @@ import (
 
 	"sate/internal/autodiff"
 	"sate/internal/gnn"
+	"sate/internal/obs"
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -259,11 +261,27 @@ func (m *Model) returnTape(tp *autodiff.Tape) {
 }
 
 // Solve implements the baselines.Solver interface: graph construction,
-// GNN inference, decoding, and the feasibility correction.
-func (m *Model) Solve(p *te.Problem) (*te.Allocation, error) {
+// GNN inference, decoding, and the feasibility correction. Options select
+// the objective (solve.MLU routes to the MLU head, equivalent to SolveMLU),
+// attach an obs registry (per-solve latency under solver="sate" plus
+// graph-build/forward/decode phase spans), or override the worker budget.
+// Instrumentation adds zero heap allocations to the warm solve path
+// (TestSolveObsAddsZeroAllocs).
+func (m *Model) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	o := solve.Build(opts...)
+	if o.Objective == solve.MLU {
+		return m.solveMLU(p, o)
+	}
+	a := solve.Begin(o, "sate")
+	defer a.End()
+	sp := o.Registry.StartSpan(obs.PhaseGraphBuild)
 	g := BuildTEGraph(p)
+	sp.End()
 	tp := m.inferenceTape()
+	sp = o.Registry.StartSpan(obs.PhaseForward)
 	x := m.Allocate(tp, g, p)
+	sp.End()
+	sp = o.Registry.StartSpan(obs.PhaseDecode)
 	alloc := te.NewAllocation(p)
 	for fi, vars := range g.FlowVars {
 		for pi, j := range vars { // variables were appended in path order
@@ -272,6 +290,7 @@ func (m *Model) Solve(p *te.Problem) (*te.Allocation, error) {
 	}
 	m.returnTape(tp)
 	p.Trim(alloc)
+	sp.End()
 	return alloc, nil
 }
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sate/internal/baselines"
+	"sate/internal/obs"
+	"sate/internal/par"
+	"sate/internal/solve"
+)
+
+// TestSolveObsAddsZeroAllocs verifies the redesign's zero-overhead claim
+// (DESIGN.md §9): attaching an enabled registry to Model.Solve adds no heap
+// allocation per call. The option slice is pre-built once, as the controller
+// and online-eval hot loops do; recording itself is atomic ops plus
+// lock-free-read map lookups on constant keys.
+func TestSolveObsAddsZeroAllocs(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("race runtime perturbs alloc accounting (see obs.RaceEnabled)")
+	}
+	p := buildScenario(t, 0, 60, 7)
+	m := NewModel(DefaultConfig())
+	defer par.SetWorkers(1)()
+
+	baseline := testing.AllocsPerRun(5, func() {
+		if _, err := m.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	reg := obs.NewRegistry()
+	opts := []solve.Option{solve.WithRegistry(reg)}
+	// Warm up: first instrumented call creates the metric entries.
+	if _, err := m.Solve(p, opts...); err != nil {
+		t.Fatal(err)
+	}
+	instrumented := testing.AllocsPerRun(5, func() {
+		if _, err := m.Solve(p, opts...); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if delta := instrumented - baseline; delta > 0 {
+		t.Fatalf("enabled registry adds %v allocs/op to Solve (baseline %v, instrumented %v), want 0",
+			delta, baseline, instrumented)
+	}
+	if got := solve.SolveHistogram(reg, "sate").Count(); got == 0 {
+		t.Fatal("solve histogram recorded nothing")
+	}
+}
+
+// TestTrainRecordsMetrics checks the training loop's registry wiring:
+// per-epoch loss gauge, epoch counter, step latency and span histograms, and
+// the tape-arena reuse counters that make §8's recycling observable.
+func TestTrainRecordsMetrics(t *testing.T) {
+	p := buildScenario(t, 0, 60, 7)
+	ref, err := (baselines.LPExact{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []*Sample{NewSample(p, ref)}
+	m := NewModel(DefaultConfig())
+	reg := obs.NewRegistry()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	cfg.Registry = reg
+	if _, err := Train(m, samples, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sate_train_epochs_total").Value(); got != 3 {
+		t.Fatalf("epochs_total = %d, want 3", got)
+	}
+	if got := reg.Histogram("sate_train_step_seconds", nil).Count(); got != 3 {
+		t.Fatalf("step count = %d, want 3", got)
+	}
+	for _, phase := range []string{obs.PhaseForward, obs.PhaseBackward, obs.PhaseAdamStep} {
+		if got := reg.SpanHistogram(phase).Count(); got != 3 {
+			t.Fatalf("span %q count = %d, want 3", phase, got)
+		}
+	}
+	// Epochs past the first reuse the tape arena.
+	if got := reg.Counter("sate_tape_tensor_reuse_total").Value(); got == 0 {
+		t.Fatal("tape reuse counter never moved")
+	}
+}
+
+// TestSolveMLUObjectiveRouting checks that the unified entry dispatches on
+// the objective option and that the deprecated SolveMLU wrapper matches it.
+func TestSolveMLUObjectiveRouting(t *testing.T) {
+	p := buildScenario(t, 0, 60, 7)
+	m := NewModel(DefaultConfig())
+	viaOption, err := m.Solve(p, solve.WithObjective(solve.MLU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWrapper, err := m.SolveMLU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range viaOption.X {
+		for pi := range viaOption.X[fi] {
+			// Both paths run the same code; require bitwise identity.
+			if math.Float64bits(viaOption.X[fi][pi]) != math.Float64bits(viaWrapper.X[fi][pi]) {
+				t.Fatalf("objective option and SolveMLU disagree at [%d][%d]: %v vs %v",
+					fi, pi, viaOption.X[fi][pi], viaWrapper.X[fi][pi])
+			}
+		}
+	}
+	reg := obs.NewRegistry()
+	if _, err := m.Solve(p, solve.WithObjective(solve.MLU), solve.WithRegistry(reg)); err != nil {
+		t.Fatal(err)
+	}
+	if got := solve.SolveHistogram(reg, "sate-mlu").Count(); got != 1 {
+		t.Fatalf("sate-mlu histogram count = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sate/internal/autodiff"
+	"sate/internal/obs"
 	"sate/internal/te"
 )
 
@@ -168,6 +169,53 @@ type TrainConfig struct {
 	WarmupFrac float64
 	// Verbose emits per-epoch progress via the Log callback.
 	Log func(epoch int, loss float64)
+	// Registry receives training metrics: per-epoch loss gauge, per-step
+	// latency histogram, forward/backward/adam-step spans and tape-arena
+	// reuse/alloc counters (DESIGN.md §9). Nil disables instrumentation.
+	Registry *obs.Registry
+}
+
+// trainObs bundles the training-loop metric handles, pre-resolved once per
+// run so the epoch loop performs only atomic updates (every handle is nil —
+// and every update a no-op — when no registry is attached).
+type trainObs struct {
+	epochLoss   *obs.Gauge
+	epochsTotal *obs.Counter
+	stepSeconds *obs.Histogram
+	spForward   *obs.Histogram
+	spBackward  *obs.Histogram
+	spAdam      *obs.Histogram
+	tapeReuse   *obs.Counter
+	tapeAlloc   *obs.Counter
+	prev        autodiff.ArenaStats
+}
+
+func newTrainObs(reg *obs.Registry) trainObs {
+	return trainObs{
+		epochLoss:   reg.Gauge("sate_train_epoch_loss"),
+		epochsTotal: reg.Counter("sate_train_epochs_total"),
+		stepSeconds: reg.Histogram("sate_train_step_seconds", obs.DefLatencyBuckets),
+		spForward:   reg.SpanHistogram(obs.PhaseForward),
+		spBackward:  reg.SpanHistogram(obs.PhaseBackward),
+		spAdam:      reg.SpanHistogram(obs.PhaseAdamStep),
+		tapeReuse:   reg.Counter("sate_tape_tensor_reuse_total"),
+		tapeAlloc:   reg.Counter("sate_tape_tensor_alloc_total"),
+	}
+}
+
+// epoch records the end of one epoch: loss gauge, epoch counter, and the
+// tape-arena deltas since the previous call (reuse vs. fresh allocation —
+// the live view of the §8 memory model).
+func (to *trainObs) epoch(tp *autodiff.Tape, mean float64) {
+	to.epochLoss.Set(mean)
+	to.epochsTotal.Inc()
+	if to.tapeReuse == nil && to.tapeAlloc == nil {
+		return
+	}
+	st := tp.ArenaStats()
+	to.tapeReuse.Add(st.TensorReuse - to.prev.TensorReuse)
+	to.tapeAlloc.Add(st.TensorAlloc - to.prev.TensorAlloc)
+	to.prev = st
 }
 
 // DefaultTrainConfig returns sane CPU-scale defaults.
@@ -198,6 +246,7 @@ func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
 	}
 	warmEpochs := int(warm * float64(cfg.Epochs))
 	res := &TrainResult{Epochs: cfg.Epochs}
+	to := newTrainObs(cfg.Registry)
 	// One tape for the whole run: Reset recycles every intermediate into the
 	// arena, so after the first pass per problem size steps allocate nothing.
 	tp := autodiff.NewTape()
@@ -205,6 +254,8 @@ func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
 		var sum float64
 		for _, s := range samples {
 			tp.Reset()
+			step := obs.StartTimer(to.stepSeconds)
+			sp := obs.StartTimer(to.spForward)
 			x := m.Allocate(tp, s.Graph, s.Problem)
 			var l *autodiff.Value
 			if ep < warmEpochs {
@@ -212,9 +263,15 @@ func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
 			} else {
 				l = Loss(tp, m, s, x, cfg.Loss)
 			}
+			sp.End()
 			opt.ZeroGrad()
+			sp = obs.StartTimer(to.spBackward)
 			tp.Backward(l)
+			sp.End()
+			sp = obs.StartTimer(to.spAdam)
 			opt.Step()
+			sp.End()
+			step.End()
 			lv := l.Val.Data[0]
 			if math.IsNaN(lv) || math.IsInf(lv, 0) {
 				return nil, fmt.Errorf("core: loss diverged at epoch %d", ep)
@@ -224,6 +281,7 @@ func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
 		mean := sum / float64(len(samples))
 		res.Losses = append(res.Losses, mean)
 		res.FinalLoss = mean
+		to.epoch(tp, mean)
 		if cfg.Log != nil {
 			cfg.Log(ep, mean)
 		}

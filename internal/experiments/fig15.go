@@ -9,6 +9,7 @@ import (
 	"sate/internal/baselines"
 	"sate/internal/core"
 	"sate/internal/sim"
+	"sate/internal/solve"
 	"sate/internal/te"
 	"sate/internal/topology"
 )
@@ -70,7 +71,7 @@ func Fig15aMLU(opt Options) (*Report, error) {
 		// Evaluate MLU on unseen problems. All methods route what they can;
 		// MLU is measured on the feasible allocation.
 		evalScen := newScenario(sc, topology.CrossShellLasers, intensity, opt.Seed+102)
-		evalMLU := func(solve func(*te.Problem) (*te.Allocation, error)) string {
+		evalMLU := func(solveFn func(*te.Problem, ...solve.Option) (*te.Allocation, error)) string {
 			var mluSum, satSum float64
 			n := 0
 			for i := 0; i < 3; i++ {
@@ -78,7 +79,7 @@ func Fig15aMLU(opt Options) (*Report, error) {
 				if err != nil || len(p.Flows) == 0 {
 					continue
 				}
-				a, err := solve(p)
+				a, err := solveFn(p)
 				if err != nil {
 					continue
 				}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families are
+// sorted by name, vec children by label value, histogram buckets by bound —
+// two scrapes of the same state are byte-identical. A nil registry writes
+// nothing and returns nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	r.mu.RLock()
+	goRuntime := r.goRuntime
+	type family struct {
+		name string
+		emit func(bw *bufio.Writer, name string)
+	}
+	var fams []family
+	for name, c := range r.counters {
+		c := c
+		fams = append(fams, family{name, func(bw *bufio.Writer, name string) {
+			writeType(bw, name, "counter")
+			writeSample(bw, name, "", "", float64(c.Value()))
+		}})
+	}
+	for name, g := range r.gauges {
+		g := g
+		fams = append(fams, family{name, func(bw *bufio.Writer, name string) {
+			writeType(bw, name, "gauge")
+			writeSample(bw, name, "", "", g.Value())
+		}})
+	}
+	for name, h := range r.hists {
+		h := h
+		fams = append(fams, family{name, func(bw *bufio.Writer, name string) {
+			writeType(bw, name, "histogram")
+			writeHistogram(bw, name, "", "", h)
+		}})
+	}
+	for name, v := range r.counterVecs {
+		v := v
+		fams = append(fams, family{name, func(bw *bufio.Writer, name string) {
+			writeType(bw, name, "counter")
+			v.mu.RLock()
+			for _, val := range sortedKeys(v.children) {
+				writeSample(bw, name, v.label, val, float64(v.children[val].Value()))
+			}
+			v.mu.RUnlock()
+		}})
+	}
+	for name, v := range r.histVecs {
+		v := v
+		fams = append(fams, family{name, func(bw *bufio.Writer, name string) {
+			writeType(bw, name, "histogram")
+			v.mu.RLock()
+			for _, val := range sortedKeys(v.children) {
+				writeHistogram(bw, name, v.label, val, v.children[val])
+			}
+			v.mu.RUnlock()
+		}})
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.emit(bw, f.name)
+	}
+	if goRuntime {
+		writeGoRuntime(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// /metrics. A nil registry serves an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		// The status line is already on the wire; a failed body write has
+		// no recovery beyond the client seeing a short read.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func writeType(bw *bufio.Writer, name, kind string) {
+	_, _ = bw.WriteString("# TYPE ")
+	_, _ = bw.WriteString(name)
+	_, _ = bw.WriteString(" ")
+	_, _ = bw.WriteString(kind)
+	_, _ = bw.WriteString("\n")
+}
+
+// writeSample emits one sample line, with an optional single label pair and
+// with histogram-style extra le label handled by writeHistogram directly.
+func writeSample(bw *bufio.Writer, name, label, labelVal string, v float64) {
+	_, _ = bw.WriteString(name)
+	if label != "" {
+		_, _ = bw.WriteString(`{`)
+		_, _ = bw.WriteString(label)
+		_, _ = bw.WriteString(`="`)
+		_, _ = bw.WriteString(escapeLabel(labelVal))
+		_, _ = bw.WriteString(`"}`)
+	}
+	_, _ = bw.WriteString(" ")
+	_, _ = bw.WriteString(formatFloat(v))
+	_, _ = bw.WriteString("\n")
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum and _count.
+func writeHistogram(bw *bufio.Writer, name, label, labelVal string, h *Histogram) {
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		_, _ = bw.WriteString(name)
+		_, _ = bw.WriteString("_bucket{")
+		if label != "" {
+			_, _ = bw.WriteString(label)
+			_, _ = bw.WriteString(`="`)
+			_, _ = bw.WriteString(escapeLabel(labelVal))
+			_, _ = bw.WriteString(`",`)
+		}
+		_, _ = bw.WriteString(`le="`)
+		_, _ = bw.WriteString(le)
+		_, _ = bw.WriteString("\"} ")
+		_, _ = bw.WriteString(strconv.FormatUint(cum, 10))
+		_, _ = bw.WriteString("\n")
+	}
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label + `="` + escapeLabel(labelVal) + `"}`
+	}
+	_, _ = bw.WriteString(name)
+	_, _ = bw.WriteString("_sum")
+	_, _ = bw.WriteString(suffix)
+	_, _ = bw.WriteString(" ")
+	_, _ = bw.WriteString(formatFloat(h.Sum()))
+	_, _ = bw.WriteString("\n")
+	_, _ = bw.WriteString(name)
+	_, _ = bw.WriteString("_count")
+	_, _ = bw.WriteString(suffix)
+	_, _ = bw.WriteString(" ")
+	_, _ = bw.WriteString(strconv.FormatUint(h.Count(), 10))
+	_, _ = bw.WriteString("\n")
+}
+
+// writeGoRuntime samples the Go runtime at scrape time. The names follow the
+// conventional go_* prefix; ReadMemStats costs tens of microseconds, paid by
+// the scraper rather than any hot path.
+func writeGoRuntime(bw *bufio.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeType(bw, "go_gc_cycles_total", "counter")
+	writeSample(bw, "go_gc_cycles_total", "", "", float64(ms.NumGC))
+	writeType(bw, "go_goroutines", "gauge")
+	writeSample(bw, "go_goroutines", "", "", float64(runtime.NumGoroutine()))
+	writeType(bw, "go_heap_alloc_bytes", "gauge")
+	writeSample(bw, "go_heap_alloc_bytes", "", "", float64(ms.HeapAlloc))
+	writeType(bw, "go_mallocs_total", "counter")
+	writeSample(bw, "go_mallocs_total", "", "", float64(ms.Mallocs))
+	writeType(bw, "go_total_alloc_bytes_total", "counter")
+	writeSample(bw, "go_total_alloc_bytes_total", "", "", float64(ms.TotalAlloc))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package obs
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Zero-alloc assertions (testing.AllocsPerRun == 0) must skip under it: the
+// race runtime allocates shadow state on instrumented accesses, so alloc
+// counts are perturbed even when the measured code itself is allocation-free.
+const RaceEnabled = false

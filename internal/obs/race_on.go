@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// See race_off.go for why zero-alloc assertions consult it.
+const RaceEnabled = true

@@ -24,10 +24,45 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"sate/internal/obs"
 )
 
 // workerOverride > 0 replaces the default worker budget.
 var workerOverride atomic.Int64
+
+// poolMetrics holds the pre-resolved obs handles for the worker pool. It is
+// swapped atomically as a unit so instrumented dispatches never see a
+// half-installed set.
+type poolMetrics struct {
+	serial   *obs.Counter // kernel calls taken on the serial fast path
+	dispatch *obs.Counter // parallel dispatches (goroutine fan-outs)
+	chunks   *obs.Counter // chunks processed by parallel dispatches
+	inflight *obs.Gauge   // workers currently running (queue utilisation)
+}
+
+// metrics is nil when the pool is uninstrumented — the common case, checked
+// with one atomic load per For call.
+var metrics atomic.Pointer[poolMetrics]
+
+// Observe installs pool instrumentation on a registry: dispatch/serial-path
+// counters, processed-chunk counts and an in-flight worker gauge
+// (sate_par_* — DESIGN.md §9). A nil registry uninstalls instrumentation.
+// Counter updates are single atomic adds, so enabling this does not change
+// the pool's allocation behaviour (TestTapeReuseZeroAllocs passes with it
+// on).
+func Observe(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		serial:   r.Counter("sate_par_serial_total"),
+		dispatch: r.Counter("sate_par_dispatch_total"),
+		chunks:   r.Counter("sate_par_chunks_total"),
+		inflight: r.Gauge("sate_par_inflight_workers"),
+	})
+}
 
 func init() {
 	if s := os.Getenv("SATE_WORKERS"); s != "" {
@@ -96,6 +131,9 @@ func ForCtx[T any](n, grain int, ctx T, fn func(ctx T, lo, hi int)) {
 	chunks := numChunks(n, g)
 	workers := min(Workers(), chunks)
 	if workers <= 1 {
+		if m := metrics.Load(); m != nil {
+			m.serial.Inc()
+		}
 		fn(ctx, 0, n)
 		return
 	}
@@ -108,6 +146,12 @@ func ForCtx[T any](n, grain int, ctx T, fn func(ctx T, lo, hi int)) {
 //
 //go:noinline
 func forCtxParallel[T any](n, grain, chunks, workers int, ctx T, fn func(ctx T, lo, hi int)) {
+	if m := metrics.Load(); m != nil {
+		m.dispatch.Inc()
+		m.chunks.Add(uint64(chunks))
+		m.inflight.Add(float64(workers))
+		defer m.inflight.Add(-float64(workers))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -150,6 +194,9 @@ func ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
 		workers = chunks
 	}
 	if workers <= 1 {
+		if m := metrics.Load(); m != nil {
+			m.serial.Inc()
+		}
 		for c := 0; c < chunks; c++ {
 			lo := c * grain
 			hi := lo + grain
@@ -159,6 +206,12 @@ func ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
 			fn(c, lo, hi)
 		}
 		return
+	}
+	if m := metrics.Load(); m != nil {
+		m.dispatch.Inc()
+		m.chunks.Add(uint64(chunks))
+		m.inflight.Add(float64(workers))
+		defer m.inflight.Add(-float64(workers))
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup

@@ -3,15 +3,20 @@ package sim
 import (
 	"time"
 
+	"sate/internal/obs"
+	"sate/internal/solve"
 	"sate/internal/te"
 	"sate/internal/topology"
 )
 
 // Allocator is anything that computes a TE allocation (SaTE, the LP solvers,
-// the heuristics, the learned baselines).
+// the heuristics, the learned baselines). It is the sim-side spelling of the
+// unified solver surface (see the solve package): options select the
+// objective, inject an obs registry, or override the worker budget, and
+// plain `Solve(p)` calls behave exactly as before the redesign.
 type Allocator interface {
 	Name() string
-	Solve(p *te.Problem) (*te.Allocation, error)
+	Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error)
 }
 
 // OnlineConfig controls an online evaluation run.
@@ -27,6 +32,11 @@ type OnlineConfig struct {
 	IntervalSec float64
 	// StepSec is the metric sampling step (default 1 s).
 	StepSec float64
+	// Registry receives online-evaluation metrics: per-step satisfaction
+	// gauge, recompute counter, route-churn counter/gauge, problem-build
+	// spans, and the per-solve latency histograms recorded by the allocator
+	// itself (DESIGN.md §9). Nil disables instrumentation.
+	Registry *obs.Registry
 }
 
 // OnlineResult summarises an online run.
@@ -40,6 +50,10 @@ type OnlineResult struct {
 	Recomputations int
 	// MeanSolveLatency is the average measured solve wall time.
 	MeanSolveLatency time.Duration
+	// RouteChurn counts route (pair, path) changes across consecutive
+	// recomputations: paths that newly carry traffic plus paths that
+	// stopped carrying traffic. The first allocation counts all its routes.
+	RouteChurn int
 }
 
 // activeAlloc is the allocation currently loaded into the network, with the
@@ -108,6 +122,55 @@ func pathValid(nodes []topology.NodeID, links map[uint64]topology.Link) bool {
 	return true
 }
 
+// sameNodes reports whether two paths traverse the same node sequence.
+func sameNodes(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// missingRoutes counts routes of a absent from b (compared by node
+// sequence; rate changes on a surviving route are not churn).
+func missingRoutes(a, b map[uint64][]ratedPath) int {
+	n := 0
+	for k, aps := range a {
+		bps := b[k]
+	next:
+		for _, ap := range aps {
+			for _, bp := range bps {
+				if sameNodes(ap.nodes, bp.nodes) {
+					continue next
+				}
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// routeChurn counts route changes between consecutive active allocations:
+// routes added plus routes removed. A nil prev (first recomputation) counts
+// every installed route — the initial table push is churn too.
+func routeChurn(prev, next *activeAlloc) int {
+	if next == nil {
+		return 0
+	}
+	if prev == nil {
+		n := 0
+		for _, rps := range next.perPair {
+			n += len(rps)
+		}
+		return n
+	}
+	return missingRoutes(next.perPair, prev.perPair) + missingRoutes(prev.perPair, next.perPair)
+}
+
 // RunOnline evaluates an allocator in the online setting: the allocation
 // computed from the state at each recomputation instant remains in effect
 // until the next one; every step scores the active (possibly stale)
@@ -119,25 +182,45 @@ func (s *Scenario) RunOnline(al Allocator, cfg OnlineConfig) (*OnlineResult, err
 	if cfg.HorizonSec <= 0 {
 		cfg.HorizonSec = 60
 	}
+	reg := cfg.Registry
+	var (
+		satGauge     = reg.Gauge("sate_online_satisfied_ratio")
+		recomputes   = reg.Counter("sate_online_recomputes_total")
+		churnTotal   = reg.Counter("sate_online_route_churn_total")
+		churnGauge   = reg.Gauge("sate_online_route_churn")
+		problemBuild = reg.SpanHistogram(obs.PhasePathPrecompute)
+	)
+	var sopts []solve.Option
+	if reg != nil {
+		sopts = []solve.Option{solve.WithRegistry(reg)}
+	}
 	res := &OnlineResult{Method: al.Name()}
 	var active *activeAlloc
 	nextCompute := cfg.StartSec
 	var totalLatency time.Duration
 	for t := cfg.StartSec; t < cfg.StartSec+float64(cfg.HorizonSec); t += cfg.StepSec {
+		sp := obs.StartTimer(problemBuild)
 		cur, snap, _, err := s.ProblemAt(t)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		if t >= nextCompute {
 			start := time.Now()
-			alloc, err := al.Solve(cur)
+			alloc, err := al.Solve(cur, sopts...)
 			lat := time.Since(start)
 			if err != nil {
 				return nil, err
 			}
 			totalLatency += lat
 			res.Recomputations++
-			active = newActiveAlloc(cur, alloc)
+			recomputes.Inc()
+			next := newActiveAlloc(cur, alloc)
+			churn := routeChurn(active, next)
+			res.RouteChurn += churn
+			churnTotal.Add(uint64(churn))
+			churnGauge.Set(float64(churn))
+			active = next
 			interval := cfg.IntervalSec
 			if interval <= 0 {
 				interval = lat.Seconds()
@@ -148,7 +231,9 @@ func (s *Scenario) RunOnline(al Allocator, cfg OnlineConfig) (*OnlineResult, err
 			nextCompute = t + interval
 		}
 		links := snap.LinkSet()
-		res.Satisfied = append(res.Satisfied, active.satisfiedAgainst(cur, links))
+		sat := active.satisfiedAgainst(cur, links)
+		satGauge.Set(sat)
+		res.Satisfied = append(res.Satisfied, sat)
 	}
 	var sum float64
 	for _, v := range res.Satisfied {

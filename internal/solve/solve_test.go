@@ -1,0 +1,53 @@
+package solve
+
+import (
+	"testing"
+
+	"sate/internal/obs"
+	"sate/internal/par"
+)
+
+func TestBuildFoldsOptions(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := Build(WithObjective(MLU), WithRegistry(reg), WithWorkers(3), nil)
+	if o.Objective != MLU || o.Registry != reg || o.Workers != 3 {
+		t.Fatalf("Build = %+v", o)
+	}
+	zero := Build()
+	if zero.Objective != Throughput || zero.Registry != nil || zero.Workers != 0 {
+		t.Fatalf("zero Build = %+v", zero)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Throughput.String() != "throughput" || MLU.String() != "mlu" {
+		t.Fatalf("objective strings: %q %q", Throughput.String(), MLU.String())
+	}
+}
+
+func TestBeginRecordsLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	Begin(Build(WithRegistry(reg)), "test-solver").End()
+	h := SolveHistogram(reg, "test-solver")
+	if got := h.Count(); got != 1 {
+		t.Fatalf("solve histogram count = %d, want 1", got)
+	}
+}
+
+func TestBeginScopesWorkerOverride(t *testing.T) {
+	restore := par.SetWorkers(2)
+	defer restore()
+	a := Begin(Build(WithWorkers(5)), "x")
+	if got := par.Workers(); got != 5 {
+		t.Fatalf("workers during solve = %d, want 5", got)
+	}
+	a.End()
+	if got := par.Workers(); got != 2 {
+		t.Fatalf("workers after solve = %d, want 2", got)
+	}
+}
+
+func TestBeginNoRegistryIsNoOp(t *testing.T) {
+	// Must not panic and must not record anywhere.
+	Begin(Build(), "x").End()
+}

@@ -28,7 +28,9 @@ import (
 	"sate/internal/constellation"
 	"sate/internal/core"
 	"sate/internal/experiments"
+	"sate/internal/obs"
 	"sate/internal/sim"
+	"sate/internal/solve"
 	"sate/internal/te"
 	"sate/internal/topology"
 )
@@ -57,7 +59,47 @@ type (
 	OnlineResult = sim.OnlineResult
 	// Report is a rendered experiment result.
 	Report = experiments.Report
+	// Registry collects metrics (counters, gauges, histograms, spans) with
+	// zero allocation on hot paths; see the obs package and DESIGN.md §9.
+	Registry = obs.Registry
+	// SolveOption configures a single Solve call (objective, registry,
+	// worker budget); see the solve package.
+	SolveOption = solve.Option
+	// SolveOptions is the resolved option set a SolveOption mutates.
+	SolveOptions = solve.Options
+	// Objective selects what a solver optimises.
+	Objective = solve.Objective
 )
+
+// Solve objectives.
+const (
+	// Throughput maximises total satisfied demand (the default).
+	Throughput = solve.Throughput
+	// MLU minimises the maximum link utilisation (Appendix H.2).
+	MLU = solve.MLU
+)
+
+// NewRegistry creates an enabled metrics registry. A nil *Registry is also
+// valid everywhere one is accepted: every operation becomes a no-op.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Solve option constructors, re-exported from the solve package.
+var (
+	// WithObjective selects the solve objective (Throughput or MLU).
+	WithObjective = solve.WithObjective
+	// WithRegistry records per-solve latency (and solver-internal spans)
+	// into a registry.
+	WithRegistry = solve.WithRegistry
+	// WithWorkers overrides the worker-pool parallelism for the call.
+	WithWorkers = solve.WithWorkers
+)
+
+// Solve runs any allocator through the unified option-aware entry point:
+//
+//	alloc, err := sate.Solve(model, problem, sate.WithRegistry(reg))
+func Solve(al Allocator, p *Problem, opts ...SolveOption) (*Allocation, error) {
+	return al.Solve(p, opts...)
+}
 
 // Cross-shell link modes (Fig. 2).
 const (
@@ -109,6 +151,9 @@ type TrainOptions struct {
 	Seed int64
 	// Config overrides the model hyperparameters (zero value = defaults).
 	Config ModelConfig
+	// Registry receives training metrics (per-epoch loss, step latency,
+	// tape-arena counters); nil disables instrumentation.
+	Registry *Registry
 }
 
 // Train generates labelled samples from the scenario and fits a SaTE model.
@@ -147,6 +192,7 @@ func Train(s *Scenario, opt TrainOptions) (*Model, error) {
 	}
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = opt.Epochs
+	tc.Registry = opt.Registry
 	if _, err := core.Train(m, samples, tc); err != nil {
 		return nil, err
 	}

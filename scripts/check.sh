@@ -13,6 +13,11 @@ echo "== satelint =="
 go run ./cmd/satelint ./...
 echo "== go test =="
 go test ./...
+echo "== obs race =="
+# The observability subsystem is concurrent by construction (atomic metric
+# recording under HTTP scrapes); always gate it and the controller that
+# mounts it under the race detector.
+go test -race ./internal/obs/... ./internal/solve/... ./internal/controller/...
 echo "== bench smoke =="
 ./scripts/bench.sh smoke
 if [ "${RACE:-0}" = "1" ]; then
