@@ -44,6 +44,12 @@ func main() {
 		durScale  = flag.Float64("dur-scale", 0.05, "flow duration scale")
 		minElev   = flag.Float64("min-elev", 10, "user min elevation, degrees")
 		seed      = flag.Int64("seed", 1, "random seed")
+
+		cycleTimeout  = flag.Float64("cycle-timeout", 0, "per-cycle timeout, seconds (0 = 10x interval, negative disables)")
+		retryBase     = flag.Float64("retry-base", 0, "initial retry backoff after a failed cycle, seconds (0 = interval/4)")
+		retryMax      = flag.Float64("retry-max", 0, "retry backoff cap, seconds (0 = 4x interval)")
+		chaosFailFrac = flag.Float64("chaos-fail-frac", 0, "chaos mode: fraction of links failed each cycle (0 disables)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "chaos mode RNG seed")
 	)
 	flag.Parse()
 
@@ -96,15 +102,27 @@ func main() {
 	defer cancel()
 
 	srv := controller.New(scen, solver, controller.WithRegistry(reg))
+	runCfg := controller.RunConfig{
+		StartSec:        *start,
+		IntervalSec:     *interval,
+		CycleTimeoutSec: *cycleTimeout,
+		RetryBaseSec:    *retryBase,
+		RetryMaxSec:     *retryMax,
+		FailFrac:        *chaosFailFrac,
+		ChaosSeed:       *chaosSeed,
+	}
 	errc := make(chan error, 2)
 	//lint:ignore no-naked-goroutine server lifecycle, not compute parallelism: the tick loop runs for the process lifetime
-	go func() { errc <- srv.RunContext(ctx, controller.RunConfig{StartSec: *start, IntervalSec: *interval}) }()
+	go func() { errc <- srv.RunContext(ctx, runCfg) }()
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	//lint:ignore no-naked-goroutine server lifecycle, not compute parallelism: ListenAndServe blocks until shutdown
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	fmt.Printf("sate-controld: %s, method %s, interval %gs, listening on %s\n",
 		cons.Name, solver.Name(), *interval, *listen)
+	if *chaosFailFrac > 0 {
+		fmt.Printf("chaos mode: failing %.1f%% of links per cycle (seed %d)\n", 100**chaosFailFrac, *chaosSeed)
+	}
 	fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", *listen, *listen)
 
 	select {

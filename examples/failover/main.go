@@ -31,7 +31,7 @@ func main() {
 	fmt.Println("injecting random link failures at one instant (no retraining, no rerouting):")
 	var baseline float64
 	for _, rate := range []float64{0, 0.001, 0.01, 0.05} {
-		problem, err := evalScen.ProblemWithFailures(200, rate, rng)
+		problem, _, err := evalScen.ProblemWithFailures(200, rate, rng)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,7 +15,10 @@ package controller
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -40,8 +43,30 @@ type Server struct {
 	metrics    srvObs
 	solverOpts []solve.Option // pre-built so Recompute passes opts without allocating
 
+	// computeMu serializes whole TE cycles: the scenario (traffic process,
+	// path DB) is single-writer state, and two racing /recompute requests
+	// must not interleave phases. Publication order is additionally guarded
+	// by the monotonic-time check in publish.
+	computeMu sync.Mutex
+
 	mu    sync.Mutex
 	state *cycleState
+	deg   degradedInfo
+}
+
+// degradedInfo is the controller's failure-mode state, guarded by Server.mu.
+type degradedInfo struct {
+	// Failures counts consecutive failed cycles; 0 means healthy.
+	Failures int
+	// LastError is the message of the most recent failed cycle.
+	LastError string
+	// Satisfied is the last-good allocation re-scored against the topology
+	// of the most recent failed cycle (honest degraded satisfaction); valid
+	// only when SatisfiedOK.
+	Satisfied   float64
+	SatisfiedOK bool
+	// Since is when the controller entered degraded mode.
+	Since time.Time
 }
 
 // srvObs bundles the controller's metric handles, pre-resolved at New so the
@@ -60,6 +85,22 @@ type srvObs struct {
 	cycleAlloc   *obs.Gauge
 	spPaths      *obs.Histogram
 	spRules      *obs.Histogram
+
+	// Failure-mode metrics (DESIGN.md §10). degraded is 0/1; consecFails
+	// tracks the current failure streak; retriesTotal counts backoff
+	// re-attempts in the run loop; fallbackTotal counts failed cycles served
+	// from the last good allocation; skippedTotal counts ticker intervals
+	// that got no cycle because the previous one outran the cadence;
+	// canceledTotal counts cycles abandoned by clean context cancellation
+	// (NOT errors); monotonicDrops counts completed cycles whose publication
+	// was dropped because newer state was already live.
+	degraded       *obs.Gauge
+	consecFails    *obs.Gauge
+	retriesTotal   *obs.Counter
+	fallbackTotal  *obs.Counter
+	skippedTotal   *obs.Counter
+	canceledTotal  *obs.Counter
+	monotonicDrops *obs.Counter
 }
 
 func newSrvObs(reg *obs.Registry) srvObs {
@@ -76,6 +117,14 @@ func newSrvObs(reg *obs.Registry) srvObs {
 		cycleAlloc:   reg.Gauge("sate_controld_cycle_alloc_bytes"),
 		spPaths:      reg.SpanHistogram(obs.PhasePathPrecompute),
 		spRules:      reg.SpanHistogram(obs.PhaseRuleCompile),
+
+		degraded:       reg.Gauge("sate_controld_degraded"),
+		consecFails:    reg.Gauge("sate_controld_consecutive_failures"),
+		retriesTotal:   reg.Counter("sate_controld_retries_total"),
+		fallbackTotal:  reg.Counter("sate_controld_fallback_cycles_total"),
+		skippedTotal:   reg.Counter("sate_controld_skipped_cycles_total"),
+		canceledTotal:  reg.Counter("sate_controld_canceled_cycles_total"),
+		monotonicDrops: reg.Counter("sate_controld_nonmonotonic_drops_total"),
 	}
 }
 
@@ -87,6 +136,10 @@ type cycleState struct {
 	Rules        *rules.RuleSet
 	SolveLatency time.Duration
 	ComputedAt   time.Time
+
+	// fb re-scores this allocation against later topologies; built lazily on
+	// the first failed cycle so the healthy steady state pays nothing.
+	fb *sim.Fallback
 }
 
 // Option configures a Server at construction.
@@ -132,48 +185,109 @@ func (s *Server) Recompute(tSec float64) error {
 // (re)configuration, TE computation, and rule compilation. Cancelling the
 // context abandons the cycle between phases (a phase in flight runs to
 // completion — the solver is not preemptible).
-func (s *Server) RecomputeContext(ctx context.Context, tSec float64) (err error) {
+//
+// Cycles are serialized: concurrent calls queue on an internal mutex, and a
+// completed cycle at an older simulated time than the published state is
+// dropped at publication (sate_controld_nonmonotonic_drops_total) rather
+// than rolling the served allocation backwards.
+//
+// A real cycle failure counts on sate_controld_errors_total and flips the
+// controller into degraded mode (the last good allocation keeps being
+// served, re-scored honestly when the failed cycle produced a topology). A
+// context cancellation is NOT an error: it counts only on
+// sate_controld_canceled_cycles_total, so a graceful shutdown or a client
+// disconnect mid-solve leaves the error counter and degraded state alone.
+func (s *Server) RecomputeContext(ctx context.Context, tSec float64) error {
+	return s.recompute(ctx, tSec, 0, nil)
+}
+
+// recompute is the serialized cycle entry point shared by RecomputeContext
+// and the chaos-mode run loop (failFrac > 0 routes topology determination
+// through failure injection).
+func (s *Server) recompute(ctx context.Context, tSec, failFrac float64, chaos *rand.Rand) error {
+	s.computeMu.Lock()
+	defer s.computeMu.Unlock()
 	m := &s.metrics
-	defer func() {
-		if err != nil {
-			m.errorsTotal.Inc()
-		}
-	}()
+	cur, err := s.cycleLocked(ctx, tSec, failFrac, chaos)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) {
+		m.canceledTotal.Inc()
+		return err
+	}
+	m.errorsTotal.Inc()
+	s.markDegraded(err, cur)
+	return err
+}
+
+// cycleLocked runs the five workflow phases and publishes the result. It
+// returns the cycle's problem even on failure when topology determination
+// succeeded, so the caller can re-score the stale allocation against it.
+func (s *Server) cycleLocked(ctx context.Context, tSec, failFrac float64, chaos *rand.Rand) (*te.Problem, error) {
+	m := &s.metrics
 	var memBefore runtime.MemStats
 	if s.registry != nil {
 		runtime.ReadMemStats(&memBefore)
 	}
 	cycle := obs.StartTimer(m.cycleSeconds)
-	if err = ctx.Err(); err != nil {
-		return err
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sp := obs.StartTimer(m.spPaths)
-	p, _, _, err := s.scen.ProblemAt(tSec)
+	var (
+		p   *te.Problem
+		err error
+	)
+	if chaos != nil && failFrac > 0 {
+		p, _, err = s.scen.ProblemWithFailures(tSec, failFrac, chaos)
+	} else {
+		p, _, _, err = s.scen.ProblemAt(tSec)
+	}
 	sp.End()
 	if err != nil {
-		return fmt.Errorf("controller: building problem: %w", err)
+		return nil, fmt.Errorf("controller: building problem: %w", err)
 	}
-	if err = ctx.Err(); err != nil {
-		return err
+	if err := ctx.Err(); err != nil {
+		return p, err
 	}
 	start := time.Now()
 	alloc, err := s.solver.Solve(p, s.solverOpts...)
 	lat := time.Since(start)
 	if err != nil {
-		return fmt.Errorf("controller: solving: %w", err)
+		return p, fmt.Errorf("controller: solving: %w", err)
 	}
-	if err = ctx.Err(); err != nil {
-		return err
+	if err := ctx.Err(); err != nil {
+		return p, err
 	}
 	sp = obs.StartTimer(m.spRules)
 	rs := rules.Compile(p, alloc)
 	if err := rules.Verify(p, alloc, rs); err != nil {
 		sp.End()
-		return fmt.Errorf("controller: rule verification: %w", err)
+		return p, fmt.Errorf("controller: rule verification: %w", err)
 	}
 	sp.End()
 	cycle.End()
 	m.cyclesTotal.Inc()
+
+	// Publish under the monotonic-time guard: a slower cycle that started
+	// earlier but computed an OLDER simulated time must not overwrite newer
+	// published state (or its gauges).
+	s.mu.Lock()
+	if s.state != nil && tSec < s.state.TimeSec {
+		s.mu.Unlock()
+		m.monotonicDrops.Inc()
+		return p, nil
+	}
+	s.state = &cycleState{
+		TimeSec: tSec, Problem: p, Alloc: alloc, Rules: rs,
+		SolveLatency: lat, ComputedAt: time.Now(),
+	}
+	s.deg = degradedInfo{}
+	s.mu.Unlock()
+
+	m.degraded.Set(0)
+	m.consecFails.Set(0)
 	m.satisfied.Set(p.SatisfiedDemand(alloc))
 	m.throughput.Set(alloc.Throughput())
 	m.mlu.Set(p.MLU(alloc))
@@ -184,13 +298,44 @@ func (s *Server) RecomputeContext(ctx context.Context, tSec float64) (err error)
 		runtime.ReadMemStats(&memAfter)
 		m.cycleAlloc.Set(float64(memAfter.TotalAlloc - memBefore.TotalAlloc))
 	}
+	return p, nil
+}
+
+// markDegraded records a failed cycle: it bumps the consecutive-failure
+// streak, and when the failed cycle got far enough to produce a topology it
+// re-scores the last good allocation against that topology so /status and
+// the satisfied-ratio gauge report what the stale rules can actually deliver
+// (sim.Fallback, DESIGN.md §10).
+func (s *Server) markDegraded(cause error, cur *te.Problem) {
+	m := &s.metrics
+	now := time.Now()
 	s.mu.Lock()
-	s.state = &cycleState{
-		TimeSec: tSec, Problem: p, Alloc: alloc, Rules: rs,
-		SolveLatency: lat, ComputedAt: time.Now(),
+	if s.deg.Failures == 0 {
+		s.deg.Since = now
+	}
+	s.deg.Failures++
+	s.deg.LastError = cause.Error()
+	fails := s.deg.Failures
+	serving := s.state != nil
+	sat := math.NaN()
+	if cur != nil && s.state != nil {
+		if s.state.fb == nil {
+			s.state.fb = sim.NewFallback(s.state.Problem, s.state.Alloc)
+		}
+		sat = s.state.fb.Satisfied(cur, cur.LinkSet())
+		s.deg.Satisfied = sat
+		s.deg.SatisfiedOK = true
 	}
 	s.mu.Unlock()
-	return nil
+
+	m.degraded.Set(1)
+	m.consecFails.Set(float64(fails))
+	if serving {
+		m.fallbackTotal.Inc()
+	}
+	if !math.IsNaN(sat) {
+		m.satisfied.Set(sat)
+	}
 }
 
 // Handler returns the HTTP routes. With a registry attached it additionally
@@ -224,6 +369,14 @@ func (s *Server) snapshot() *cycleState {
 	return s.state
 }
 
+// health returns the published state together with the degraded info that
+// applies to it.
+func (s *Server) health() (*cycleState, degradedInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state, s.deg
+}
+
 // writeJSON commits a 200 with an explicit status line before encoding. A
 // mid-encode failure can no longer smuggle an http.Error into a half-written
 // body (the old bug: Encode had already streamed partial JSON and an
@@ -238,7 +391,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-// StatusResponse is the /status payload.
+// StatusResponse is the /status payload. While degraded, the served
+// allocation is the last good one (stale): Degraded is true, SatisfiedFrac
+// is the stale allocation re-scored against the most recent failed cycle's
+// topology (when that cycle produced one), and ConsecutiveFailures /
+// LastError / DegradedSinceUnix describe the failure streak.
 type StatusResponse struct {
 	Method          string  `json:"method"`
 	TimeSec         float64 `json:"time_sec"`
@@ -250,26 +407,42 @@ type StatusResponse struct {
 	SolveLatencyMs  float64 `json:"solve_latency_ms"`
 	NumRules        int     `json:"num_rules"`
 	ComputedAtUnix  int64   `json:"computed_at_unix"`
+
+	Degraded            bool   `json:"degraded"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	DegradedSinceUnix   int64  `json:"degraded_since_unix,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st := s.snapshot()
+	st, deg := s.health()
 	if st == nil {
 		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
 		return
 	}
-	s.writeJSON(w, StatusResponse{
+	sat := st.Problem.SatisfiedDemand(st.Alloc)
+	resp := StatusResponse{
 		Method:          s.solver.Name(),
 		TimeSec:         st.TimeSec,
 		Flows:           len(st.Problem.Flows),
 		TotalDemandMbps: st.Problem.TotalDemand(),
 		ThroughputMbps:  st.Alloc.Throughput(),
-		SatisfiedFrac:   st.Problem.SatisfiedDemand(st.Alloc),
+		SatisfiedFrac:   sat,
 		MLU:             st.Problem.MLU(st.Alloc),
 		SolveLatencyMs:  float64(st.SolveLatency.Nanoseconds()) / 1e6,
 		NumRules:        st.Rules.NumRules(),
 		ComputedAtUnix:  st.ComputedAt.Unix(),
-	})
+	}
+	if deg.Failures > 0 {
+		resp.Degraded = true
+		resp.ConsecutiveFailures = deg.Failures
+		resp.LastError = deg.LastError
+		resp.DegradedSinceUnix = deg.Since.Unix()
+		if deg.SatisfiedOK {
+			resp.SatisfiedFrac = deg.Satisfied
+		}
+	}
+	s.writeJSON(w, resp)
 }
 
 // AllocationEntry is one flow's allocation in the /allocation payload.
@@ -356,6 +529,13 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.RecomputeContext(r.Context(), req.TimeSec); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The client disconnected mid-cycle; that is not a server
+			// failure, so don't answer 500 (the write usually goes nowhere
+			// anyway). 499 is the de-facto "client closed request" status.
+			w.WriteHeader(499)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -367,13 +547,40 @@ type RunConfig struct {
 	// StartSec is the simulated time of the first cycle.
 	StartSec float64
 	// IntervalSec is both the wall-clock tick and the simulated-time advance
-	// per cycle.
+	// per cycle. Simulated time is slaved to the wall clock: when a cycle
+	// (or a retry storm) outruns the cadence, the loop advances simulated
+	// time by every elapsed interval and counts the cycles that never ran on
+	// sate_controld_skipped_cycles_total.
 	IntervalSec float64
+
+	// CycleTimeoutSec bounds one cycle (problem build + solve + rule
+	// compilation). 0 defaults to 10×IntervalSec; negative disables the
+	// timeout. A timed-out cycle is a cycle failure (retried with backoff),
+	// not a shutdown.
+	CycleTimeoutSec float64
+	// RetryBaseSec is the first retry backoff after a failed cycle
+	// (default IntervalSec/4). Subsequent consecutive failures double it.
+	RetryBaseSec float64
+	// RetryMaxSec caps the exponential backoff (default 4×IntervalSec).
+	RetryMaxSec float64
+
+	// FailFrac > 0 enables chaos mode: every cycle's topology passes through
+	// failure injection (sim.Scenario.ProblemWithFailures) with this
+	// fraction of links removed. The controller must survive the resulting
+	// solver stress — this is the live consumer of the failure machinery the
+	// emulation literature asks for.
+	FailFrac float64
+	// ChaosSeed seeds the chaos RNG (default 1); runs are reproducible for a
+	// given seed and cadence.
+	ChaosSeed int64
 }
 
 // RunContext drives the periodic TE workflow: every interval of wall time it
-// advances simulated time by the same amount and recomputes. It blocks until
-// the context is cancelled (returning ctx.Err()) or a cycle fails.
+// advances simulated time by the same amount and recomputes. A failed cycle
+// does NOT terminate the loop: the controller flips to degraded mode, keeps
+// serving the last good allocation, and retries with capped exponential
+// backoff until a cycle succeeds. RunContext blocks until the context is
+// cancelled (returning ctx.Err()).
 func (s *Server) RunContext(ctx context.Context, cfg RunConfig) error {
 	return s.run(ctx, cfg, nil)
 }
@@ -386,27 +593,137 @@ func (s *Server) Run(startSec, intervalSec float64, stop <-chan struct{}) error 
 	return s.run(context.Background(), RunConfig{StartSec: startSec, IntervalSec: intervalSec}, stop)
 }
 
+// errStopped is the internal sentinel for the legacy stop channel closing.
+var errStopped = errors.New("controller: stopped")
+
 // run is the loop shared by RunContext and the deprecated Run: it selects on
 // both the context and the legacy stop channel (a nil channel never fires),
 // so the channel-based API needs no adapter goroutine.
+//
+// Scheduling model: cycle i belongs at wall time start+i·interval and runs
+// at simulated time StartSec+i·IntervalSec. After every wait (tick or retry
+// backoff) the loop re-derives the cycle index from the wall clock, so a
+// slow cycle or a long retry storm never lets simulated time fall behind
+// wall-clock cadence — missed indices are counted as skipped cycles, and a
+// retry that stays within the same interval genuinely re-attempts the same
+// cycle.
 func (s *Server) run(ctx context.Context, cfg RunConfig, stop <-chan struct{}) error {
-	t := cfg.StartSec
-	if err := s.RecomputeContext(ctx, t); err != nil {
+	interval := time.Duration(cfg.IntervalSec * float64(time.Second))
+	if interval <= 0 {
+		return fmt.Errorf("controller: RunConfig.IntervalSec must be positive, got %g", cfg.IntervalSec)
+	}
+	timeout := time.Duration(cfg.CycleTimeoutSec * float64(time.Second))
+	if cfg.CycleTimeoutSec == 0 {
+		timeout = 10 * interval
+	} else if cfg.CycleTimeoutSec < 0 {
+		timeout = 0
+	}
+	base := time.Duration(cfg.RetryBaseSec * float64(time.Second))
+	if base <= 0 {
+		base = interval / 4
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxBackoff := time.Duration(cfg.RetryMaxSec * float64(time.Second))
+	if maxBackoff <= 0 {
+		maxBackoff = 4 * interval
+	}
+	if maxBackoff < base {
+		maxBackoff = base
+	}
+	var chaos *rand.Rand
+	if cfg.FailFrac > 0 {
+		seed := cfg.ChaosSeed
+		if seed == 0 {
+			seed = 1
+		}
+		chaos = rand.New(rand.NewSource(seed))
+	}
+
+	// attempt runs one cycle under the per-cycle timeout. It returns
+	// ctx.Err() when the PARENT context ended (shut down), the cycle error
+	// otherwise (a per-cycle deadline is a failure, not a shutdown).
+	attempt := func(t float64) error {
+		cctx, cancel := ctx, context.CancelFunc(func() {})
+		if timeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		err := s.recompute(cctx, t, cfg.FailFrac, chaos)
+		cancel()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return err
 	}
-	ticker := time.NewTicker(time.Duration(cfg.IntervalSec * float64(time.Second)))
-	defer ticker.Stop()
-	for {
+	// wait sleeps d, returning early with the exit error when the context is
+	// cancelled or the legacy stop channel closes.
+	wait := func(d time.Duration) error {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-stop:
+			return errStopped
+		case <-timer.C:
 			return nil
-		case <-ticker.C:
-			t += cfg.IntervalSec
-			if err := s.RecomputeContext(ctx, t); err != nil {
-				return err
+		}
+	}
+
+	m := &s.metrics
+	start := time.Now()
+	idx := 0          // cycle index being attempted
+	lastIdx := -1     // last attempted index, to tell retries from fresh cycles
+	consecutive := 0  // consecutive failed attempts, drives the backoff
+	for {
+		if idx == lastIdx {
+			m.retriesTotal.Inc()
+		}
+		lastIdx = idx
+		err := attempt(cfg.StartSec + float64(idx)*cfg.IntervalSec)
+		var sleep time.Duration
+		switch {
+		case err == nil:
+			consecutive = 0
+			sleep = time.Until(start.Add(time.Duration(idx+1) * interval))
+			if sleep < 0 {
+				sleep = 0
+			}
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case errors.Is(err, context.Canceled):
+			// The cycle observed a cancellation that was not the parent
+			// context's (cannot happen with the contexts run builds, but a
+			// custom Allocator could surface one); treat as a failure.
+			fallthrough
+		default:
+			consecutive++
+			sleep = base << (consecutive - 1)
+			if sleep > maxBackoff || sleep < base { // also catches shift overflow
+				sleep = maxBackoff
 			}
 		}
+		if werr := wait(sleep); werr != nil {
+			if errors.Is(werr, errStopped) {
+				return nil
+			}
+			return werr
+		}
+		// Re-derive the cycle index from the wall clock. After a successful
+		// cycle the sleep landed at or past the next tick, so the index
+		// always advances; after a retry backoff it may stay put (retry the
+		// same cycle) or jump (the storm outran the cadence).
+		next := int(time.Since(start) / interval)
+		if next < idx {
+			next = idx
+		}
+		if err == nil && next == idx {
+			next = idx + 1
+		}
+		if skipped := next - idx - 1; skipped > 0 {
+			m.skippedTotal.Add(uint64(skipped))
+		}
+		idx = next
 	}
 }

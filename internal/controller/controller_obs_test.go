@@ -155,8 +155,17 @@ func TestRecomputeContextCancelled(t *testing.T) {
 	if err := srv.RecomputeContext(ctx, 100); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled recompute = %v, want context.Canceled", err)
 	}
-	if got := reg.Counter("sate_controld_errors_total").Value(); got != 1 {
-		t.Fatalf("errors_total = %d, want 1", got)
+	// A clean cancellation is not a cycle failure: it must not inflate the
+	// error counter (that used to 500 graceful shutdowns into the metrics)
+	// and must not flip the controller degraded.
+	if got := reg.Counter("sate_controld_errors_total").Value(); got != 0 {
+		t.Fatalf("errors_total = %d, want 0", got)
+	}
+	if got := reg.Counter("sate_controld_canceled_cycles_total").Value(); got != 1 {
+		t.Fatalf("canceled_cycles_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("sate_controld_degraded").Value(); got != 0 {
+		t.Fatalf("degraded = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// Fallback is the degraded-mode scoring policy of the control center: when a
+// TE cycle fails (solver error, timeout, or a failure-injected topology), the
+// controller keeps serving its last good allocation, and Fallback re-scores
+// that stale allocation against the topology and demand that actually exist
+// now. The score uses the same pair-indexed path-validity machinery as the
+// online evaluator (satisfiedAgainst / pathValid), so the satisfaction the
+// controller reports while degraded is the honest deliverable fraction — not
+// the optimistic number computed when the allocation was fresh.
+type Fallback struct {
+	active *activeAlloc
+}
+
+// NewFallback captures a computed allocation for later re-scoring. The
+// problem and allocation are indexed once; Satisfied may then be called
+// against any number of later (possibly failed) problems.
+func NewFallback(p *te.Problem, a *te.Allocation) *Fallback {
+	return &Fallback{active: newActiveAlloc(p, a)}
+}
+
+// Satisfied scores the captured allocation against the current problem:
+// per pair, the deliverable rate is the allocated rate on paths whose every
+// hop survives in links, capped by the pair's current demand, summed and
+// divided by current total demand. links is typically cur.LinkSet() (the
+// possibly failure-injected topology the problem was built from).
+func (f *Fallback) Satisfied(cur *te.Problem, links topology.LinkSet) float64 {
+	return f.active.satisfiedAgainst(cur, links)
+}

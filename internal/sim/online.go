@@ -90,7 +90,7 @@ func newActiveAlloc(p *te.Problem, a *te.Allocation) *activeAlloc {
 // per pair, the deliverable rate is the allocated rate on paths still valid
 // in the current topology, capped by current demand. Pairs without an active
 // allocation deliver nothing — the cost of stale TE (Sec. 2.3.2).
-func (aa *activeAlloc) satisfiedAgainst(cur *te.Problem, links map[uint64]topology.Link) float64 {
+func (aa *activeAlloc) satisfiedAgainst(cur *te.Problem, links topology.LinkSet) float64 {
 	total := cur.TotalDemand()
 	if total <= 0 {
 		return 1
@@ -112,10 +112,13 @@ func (aa *activeAlloc) satisfiedAgainst(cur *te.Problem, links map[uint64]topolo
 	return delivered / total
 }
 
-func pathValid(nodes []topology.NodeID, links map[uint64]topology.Link) bool {
+// pathValid reports whether every hop of the path survives in the link set.
+// Membership is kind-agnostic (topology.LinkSet.Has): a configured path does
+// not know — and must not care — which LinkKind the live topology assigns to
+// a surviving hop.
+func pathValid(nodes []topology.NodeID, links topology.LinkSet) bool {
 	for i := 0; i+1 < len(nodes); i++ {
-		l := topology.MakeLink(nodes[i], nodes[i+1], topology.IntraOrbit)
-		if _, ok := links[uint64(l.A)<<32|uint64(uint32(l.B))]; !ok {
+		if !links.Has(nodes[i], nodes[i+1]) {
 			return false
 		}
 	}

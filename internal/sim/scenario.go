@@ -150,8 +150,10 @@ func (s *Scenario) ProblemAt(tSec float64) (*te.Problem, *topology.Snapshot, *tr
 }
 
 // ProblemWithFailures builds the TE problem at time t with a random fraction
-// of links failed (Appendix H.3).
-func (s *Scenario) ProblemWithFailures(tSec, failFrac float64, rng *rand.Rand) (*te.Problem, error) {
+// of links failed (Appendix H.3). It also returns the failure-injected
+// snapshot so callers (the chaos-mode controller, the failure experiments)
+// can score stale allocations against the degraded link set.
+func (s *Scenario) ProblemWithFailures(tSec, failFrac float64, rng *rand.Rand) (*te.Problem, *topology.Snapshot, error) {
 	snap := s.SnapshotAt(tSec)
 	failed := topology.InjectFailures(snap, failFrac, rng)
 	m := s.MatrixAt(tSec, failed)
@@ -159,5 +161,5 @@ func (s *Scenario) ProblemWithFailures(tSec, failFrac float64, rng *rand.Rand) (
 	// in the paper's failure experiment); Build drops path hops over dead
 	// links at Finalize time.
 	p, err := te.Build(failed, m, s.PathDB, s.Build)
-	return p, err
+	return p, failed, err
 }

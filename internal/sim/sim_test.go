@@ -114,16 +114,20 @@ func TestRunOnlineMeasuredInterval(t *testing.T) {
 func TestProblemWithFailures(t *testing.T) {
 	s := toyScenario(60, 17)
 	rng := rand.New(rand.NewSource(1))
-	p0, err := s.ProblemWithFailures(10, 0, rng)
+	p0, snap0, err := s.ProblemWithFailures(10, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p5, err := s.ProblemWithFailures(10, 0.2, rng)
+	p5, snap5, err := s.ProblemWithFailures(10, 0.2, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(p5.Links) >= len(p0.Links) {
 		t.Errorf("failures did not remove links: %d vs %d", len(p5.Links), len(p0.Links))
+	}
+	if len(snap5.Links) != len(p5.Links) || len(snap0.Links) != len(p0.Links) {
+		t.Errorf("returned snapshot link count disagrees with problem: %d vs %d, %d vs %d",
+			len(snap5.Links), len(p5.Links), len(snap0.Links), len(p0.Links))
 	}
 	// Throughput under failures is at most throughput without (same demand).
 	a0, err := (baselines.LPExact{}).Solve(p0)

@@ -80,6 +80,18 @@ func (p *Problem) Finalize() error {
 	return nil
 }
 
+// LinkSet returns the problem's links as a kind-agnostic membership set —
+// for a problem built from a failure-injected snapshot this IS the degraded
+// link set, which is what the controller's fallback policy scores stale
+// allocations against.
+func (p *Problem) LinkSet() topology.LinkSet {
+	s := make(topology.LinkSet, len(p.Links))
+	for _, l := range p.Links {
+		s.Add(l)
+	}
+	return s
+}
+
 // LinkIndexOf returns the index of a link, or -1.
 func (p *Problem) LinkIndexOf(l topology.Link) int {
 	if i, ok := p.linkIndex[linkKey(l)]; ok {

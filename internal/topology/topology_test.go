@@ -396,3 +396,41 @@ func TestMeasureChurn(t *testing.T) {
 		t.Fatal("changed > steps")
 	}
 }
+
+func TestLinkSetKindAgnosticMembership(t *testing.T) {
+	// The invariant pathValid and every other membership consumer rely on:
+	// a LinkSet answers Has(a, b) purely by endpoints — the LinkKind a link
+	// was built or queried with never affects membership, and endpoint order
+	// does not matter.
+	set := make(LinkSet)
+	set.Add(MakeLink(3, 9, CrossShellLaser))
+	set.Add(MakeLink(12, 4, GroundRelayLink))
+
+	for _, tc := range []struct {
+		a, b NodeID
+		want bool
+	}{
+		{3, 9, true}, {9, 3, true}, // either endpoint order
+		{4, 12, true}, {12, 4, true},
+		{3, 4, false}, {9, 12, false}, {3, 12, false},
+	} {
+		if got := set.Has(tc.a, tc.b); got != tc.want {
+			t.Errorf("Has(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+
+	// Stored kinds survive for consumers that read the Link value.
+	if l := set[MakeLink(3, 9, IntraOrbit).key()]; l.Kind != CrossShellLaser {
+		t.Errorf("stored kind = %v, want CrossShellLaser", l.Kind)
+	}
+
+	// Snapshot.LinkSet agrees with the snapshot's own Links across all kinds.
+	g := toyGen(CrossShellNone)
+	s := g.Snapshot(0)
+	ls := s.LinkSet()
+	for _, l := range s.Links {
+		if !ls.Has(l.A, l.B) || !ls.Has(l.B, l.A) {
+			t.Fatalf("snapshot link %v missing from its own LinkSet", l)
+		}
+	}
+}

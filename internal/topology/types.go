@@ -128,11 +128,31 @@ func (s *Snapshot) Fingerprint() [2]uint64 {
 	return [2]uint64{s.fp.xor ^ uint64(s.fp.count), s.fp.sum}
 }
 
+// LinkSet is a membership set of links keyed by endpoint pair. Membership is
+// kind-agnostic by construction: the key encodes only the canonicalised
+// endpoints, so Has(a, b) answers "is there a live link between a and b"
+// regardless of which LinkKind either side was built with. Consumers that
+// need the kind read it from the stored Link value.
+type LinkSet map[uint64]Link
+
+// Add inserts a link (last writer wins on the stored Kind).
+func (m LinkSet) Add(l Link) { m[l.key()] = l }
+
+// Has reports whether a live link connects a and b, in either endpoint order
+// and irrespective of LinkKind.
+func (m LinkSet) Has(a, b NodeID) bool {
+	if a > b {
+		a, b = b, a
+	}
+	_, ok := m[uint64(a)<<32|uint64(uint32(b))]
+	return ok
+}
+
 // LinkSet returns the links as a set keyed by endpoint pair.
-func (s *Snapshot) LinkSet() map[uint64]Link {
-	m := make(map[uint64]Link, len(s.Links))
+func (s *Snapshot) LinkSet() LinkSet {
+	m := make(LinkSet, len(s.Links))
 	for _, l := range s.Links {
-		m[l.key()] = l
+		m.Add(l)
 	}
 	return m
 }

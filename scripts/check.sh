@@ -13,11 +13,14 @@ echo "== satelint =="
 go run ./cmd/satelint ./...
 echo "== go test =="
 go test ./...
-echo "== obs race =="
+echo "== obs/chaos race =="
 # The observability subsystem is concurrent by construction (atomic metric
 # recording under HTTP scrapes); always gate it and the controller that
-# mounts it under the race detector.
-go test -race ./internal/obs/... ./internal/solve/... ./internal/controller/...
+# mounts it under the race detector. The controller run includes the chaos
+# suite (controller_chaos_test.go, DESIGN.md §10): injected solver-failure
+# streaks under link-failure injection, racing /recompute requests, and
+# cancel-mid-solve shutdown — the paths where a data race would hide.
+go test -race ./internal/obs/... ./internal/solve/... ./internal/controller/... ./internal/sim/...
 echo "== bench smoke =="
 ./scripts/bench.sh smoke
 if [ "${RACE:-0}" = "1" ]; then
