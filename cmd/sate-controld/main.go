@@ -29,6 +29,7 @@ import (
 	"sate/internal/obs"
 	"sate/internal/par"
 	"sate/internal/sim"
+	"sate/internal/solve"
 	"sate/internal/topology"
 )
 
@@ -44,6 +45,9 @@ func main() {
 		durScale  = flag.Float64("dur-scale", 0.05, "flow duration scale")
 		minElev   = flag.Float64("min-elev", 10, "user min elevation, degrees")
 		seed      = flag.Int64("seed", 1, "random seed")
+
+		dtype     = flag.String("dtype", "float64", "inference precision for -method sate: float64 | float32")
+		warmStart = flag.Bool("warm", false, "for -method sate: warm-start each cycle from the previous one")
 
 		cycleTimeout  = flag.Float64("cycle-timeout", 0, "per-cycle timeout, seconds (0 = 10x interval, negative disables)")
 		retryBase     = flag.Float64("retry-base", 0, "initial retry backoff after a failed cycle, seconds (0 = interval/4)")
@@ -101,7 +105,24 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	srv := controller.New(scen, solver, controller.WithRegistry(reg))
+	ctlOpts := []controller.Option{controller.WithRegistry(reg)}
+	var solverOpts []solve.Option
+	switch *dtype {
+	case "float64":
+	case "float32":
+		solverOpts = append(solverOpts, solve.WithDtype(solve.Float32))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dtype %q\n", *dtype)
+		os.Exit(2)
+	}
+	if *warmStart {
+		solverOpts = append(solverOpts, solve.WithWarm(&core.CycleState{}))
+	}
+	if len(solverOpts) > 0 {
+		ctlOpts = append(ctlOpts, controller.WithSolverOptions(solverOpts...))
+	}
+
+	srv := controller.New(scen, solver, ctlOpts...)
 	runCfg := controller.RunConfig{
 		StartSec:        *start,
 		IntervalSec:     *interval,

@@ -1,0 +1,111 @@
+package sate
+
+import (
+	"math"
+	"testing"
+
+	"sate/internal/constellation"
+	"sate/internal/core"
+	"sate/internal/solve"
+	"sate/internal/te"
+)
+
+// maxRelDiff returns the largest |a-b| / max(scale, |b|) over all allocation
+// entries, with b (the float64 path) as reference.
+func maxRelDiff(t *testing.T, a, b *te.Allocation, scale float64) float64 {
+	t.Helper()
+	if len(a.X) != len(b.X) {
+		t.Fatalf("allocation shape mismatch: %d vs %d flows", len(a.X), len(b.X))
+	}
+	worst := 0.0
+	for f := range b.X {
+		for p := range b.X[f] {
+			ref := b.X[f][p]
+			d := math.Abs(a.X[f][p]-ref) / math.Max(scale, math.Abs(ref))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestFloat32Float64Equivalence(t *testing.T) {
+	cases := []struct {
+		name      string
+		cons      *constellation.Constellation
+		intensity float64
+	}{
+		{"Iridium60", constellation.Iridium(), 60},
+		{"MidSize125", constellation.MidSize1(), 125},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, p := benchProblem(t, tc.cons, tc.intensity)
+			m := core.NewModel(core.DefaultConfig())
+			a64, err := m.Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a32, err := m.Solve(p, solve.WithDtype(solve.Float32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := p.Check(a32); v.Any(1e-6) {
+				t.Fatalf("float32 allocation infeasible: %+v", v)
+			}
+			d := maxRelDiff(t, a32, a64, 1.0)
+			t.Logf("max relative deviation float32 vs float64: %.3g", d)
+			if d > 5e-3 {
+				t.Errorf("float32 path deviates %.3g from float64 (limit 5e-3)", d)
+			}
+		})
+	}
+}
+
+// TestWarmStartBitwise checks that carrying warm-start state across cycles
+// never changes results: when consecutive cycles share a topology the cached
+// R1 embeddings are replayed (bit-identical by the fingerprint key), and when
+// the topology churns the key misses and the module recomputes — so warm
+// solves are bitwise-equal to cold solves in both regimes, for both dtypes.
+func TestWarmStartBitwise(t *testing.T) {
+	s, _ := benchProblem(t, constellation.Iridium(), 60)
+	dtypes := []struct {
+		name string
+		opts []solve.Option
+	}{
+		{"float64", nil},
+		{"float32", []solve.Option{solve.WithDtype(solve.Float32)}},
+	}
+	for _, dt := range dtypes {
+		t.Run(dt.name, func(t *testing.T) {
+			m := core.NewModel(core.DefaultConfig())
+			cs := &core.CycleState{}
+			// 30..31.5: stable ISL grid (cache hits); 300: the constellation
+			// has moved far enough for access/topology churn (cache miss).
+			for _, tsec := range []float64{30, 30.5, 31, 31.5, 300} {
+				p, _, _, err := s.ProblemAt(tsec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := m.Solve(p, dt.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, err := m.Solve(p, append([]solve.Option{solve.WithWarm(cs)}, dt.opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for f := range cold.X {
+					for pi := range cold.X[f] {
+						cw, ww := cold.X[f][pi], warm.X[f][pi]
+						if math.Float64bits(cw) != math.Float64bits(ww) {
+							t.Fatalf("t=%gs flow %d path %d: warm %v != cold %v",
+								tsec, f, pi, ww, cw)
+						}
+					}
+				}
+			}
+		})
+	}
+}

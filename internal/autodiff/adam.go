@@ -6,24 +6,32 @@ import (
 	"sate/internal/par"
 )
 
-// Adam is the Adam optimizer over a fixed set of parameters. Step and
+// AdamOf is the Adam optimizer over a fixed set of parameters. Step and
 // ZeroGrad run block-parallel over fixed parameter slices: the update is
 // independent per element, so any partition of the elements produces
 // bitwise-identical parameters (see TestAdamParallelMatchesSerial). The
 // global gradient norm stays a serial reduction — its cross-parameter
 // accumulation order is part of the determinism contract.
-type Adam struct {
+//
+// Hyperparameters and the per-element update arithmetic are float64 for
+// every dtype (moments are stored in T); for T = float64 this is exactly the
+// pre-generic optimizer. Training in this repo is float64-only — the float32
+// instantiation exists for API completeness.
+type AdamOf[T Float] struct {
 	LR       float64
 	Beta1    float64
 	Beta2    float64
 	Eps      float64
 	ClipNorm float64 // global gradient-norm clip; 0 disables
 
-	params []*Value
-	m, v   []*Tensor
+	params []*ValueOf[T]
+	m, v   []*TensorOf[T]
 	blocks []adamBlock
 	t      int
 }
+
+// Adam is the float64 optimizer.
+type Adam = AdamOf[float64]
 
 // adamBlock is one contiguous slice [lo, hi) of parameter pi's elements.
 type adamBlock struct{ pi, lo, hi int }
@@ -34,14 +42,14 @@ const adamBlockSize = 4096
 
 // NewAdam creates an optimizer with standard defaults (lr as given,
 // beta1=0.9, beta2=0.999, eps=1e-8).
-func NewAdam(lr float64, params ...*Value) *Adam {
-	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+func NewAdam[T Float](lr float64, params ...*ValueOf[T]) *AdamOf[T] {
+	a := &AdamOf[T]{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
 	for pi, p := range params {
 		if !p.isParam {
 			panic("autodiff: Adam over non-parameter value")
 		}
-		a.m = append(a.m, NewTensor(p.Val.Rows, p.Val.Cols))
-		a.v = append(a.v, NewTensor(p.Val.Rows, p.Val.Cols))
+		a.m = append(a.m, NewTensorOf[T](p.Val.Rows, p.Val.Cols))
+		a.v = append(a.v, NewTensorOf[T](p.Val.Rows, p.Val.Cols))
 		for lo := 0; lo < len(p.Val.Data); lo += adamBlockSize {
 			hi := lo + adamBlockSize
 			if hi > len(p.Val.Data) {
@@ -54,38 +62,38 @@ func NewAdam(lr float64, params ...*Value) *Adam {
 }
 
 // Params returns the managed parameters.
-func (a *Adam) Params() []*Value { return a.params }
+func (a *AdamOf[T]) Params() []*ValueOf[T] { return a.params }
 
 // ZeroGrad clears all parameter gradients.
-func (a *Adam) ZeroGrad() {
-	par.ForCtx(len(a.blocks), par.Grain(len(a.blocks), 1), a, adamZeroChunk)
+func (a *AdamOf[T]) ZeroGrad() {
+	par.ForCtx(len(a.blocks), par.Grain(len(a.blocks), 1), a, opsFor[T]().adamZeroChunk)
 }
 
-func adamZeroChunk(a *Adam, lo, hi int) {
+func adamZeroChunk[T Float](a *AdamOf[T], lo, hi int) {
 	for _, blk := range a.blocks[lo:hi] {
 		clear(a.params[blk.pi].Grad.Data[blk.lo:blk.hi])
 	}
 }
 
 // GradNorm returns the global L2 norm of all parameter gradients.
-func (a *Adam) GradNorm() float64 {
+func (a *AdamOf[T]) GradNorm() float64 {
 	var s float64
 	for _, p := range a.params {
 		for _, g := range p.Grad.Data {
-			s += g * g
+			s += f64(g) * f64(g)
 		}
 	}
 	return math.Sqrt(s)
 }
 
 // adamStepArgs carries one step's scalars into the block chunks.
-type adamStepArgs struct {
-	a               *Adam
+type adamStepArgs[T Float] struct {
+	a               *AdamOf[T]
 	scale, b1c, b2c float64
 }
 
 // Step applies one Adam update from the accumulated gradients.
-func (a *Adam) Step() {
+func (a *AdamOf[T]) Step() {
 	a.t++
 	scale := 1.0
 	if a.ClipNorm > 0 {
@@ -96,26 +104,28 @@ func (a *Adam) Step() {
 	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
 	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
 	par.ForCtx(len(a.blocks), par.Grain(len(a.blocks), 1),
-		adamStepArgs{a: a, scale: scale, b1c: b1c, b2c: b2c}, adamStepChunk)
+		adamStepArgs[T]{a: a, scale: scale, b1c: b1c, b2c: b2c}, opsFor[T]().adamStepChunk)
 }
 
-func adamStepChunk(s adamStepArgs, lo, hi int) {
+func adamStepChunk[T Float](s adamStepArgs[T], lo, hi int) {
 	a := s.a
 	for _, blk := range a.blocks[lo:hi] {
 		p, m, v := a.params[blk.pi], a.m[blk.pi], a.v[blk.pi]
 		for i := blk.lo; i < blk.hi; i++ {
-			g := p.Grad.Data[i] * s.scale
-			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
-			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
-			mh := m.Data[i] / s.b1c
-			vh := v.Data[i] / s.b2c
-			p.Val.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			g := f64(p.Grad.Data[i]) * s.scale
+			mv := a.Beta1*f64(m.Data[i]) + (1-a.Beta1)*g
+			vv := a.Beta2*f64(v.Data[i]) + (1-a.Beta2)*g*g
+			m.Data[i] = T(mv)
+			v.Data[i] = T(vv)
+			mh := mv / s.b1c
+			vh := vv / s.b2c
+			p.Val.Data[i] = T(f64(p.Val.Data[i]) - a.LR*mh/(math.Sqrt(vh)+a.Eps))
 		}
 	}
 }
 
 // NumParams returns the total number of scalar parameters.
-func (a *Adam) NumParams() int {
+func (a *AdamOf[T]) NumParams() int {
 	n := 0
 	for _, p := range a.params {
 		n += len(p.Val.Data)
@@ -126,7 +136,8 @@ func (a *Adam) NumParams() int {
 // GradCheck numerically verifies the analytic gradient of a scalar-valued
 // function with respect to one parameter, returning the maximum relative
 // error over sampled entries. f must rebuild the graph on a fresh tape and
-// return the scalar output; it is called multiple times.
+// return the scalar output; it is called multiple times. Gradient checking
+// is a float64-only tool: central differences drown in float32 rounding.
 func GradCheck(p *Value, f func() float64, analytic *Tensor, h float64, samples int) float64 {
 	if samples <= 0 || samples > len(p.Val.Data) {
 		samples = len(p.Val.Data)

@@ -10,7 +10,7 @@ package autodiff
 //     outputs (gemm accumulates rows in place, scatter adds into zeros).
 //   - Values come from a pointer-stable slab of fixed-size blocks, so node
 //     addresses captured by the graph stay valid while the slab grows.
-//   - []int / []float64 / []*Value scratch comes from bump-pointer slabs
+//   - []int / scalar / []*Value scratch comes from bump-pointer slabs
 //     that abandon the old buffer on growth (the GC reclaims it) and start
 //     clean the next cycle.
 //
@@ -63,17 +63,17 @@ func (s *slab[T]) takeZeroed(n int) []T {
 func (s *slab[T]) reset() { s.cur = 0 }
 
 // arena is the per-tape allocation pool. Zero value is ready to use.
-type arena struct {
-	free  map[uint64][]*Tensor // shape-keyed tensor free-lists
-	owned []*Tensor            // tensors handed out since the last reset
+type arena[T Float] struct {
+	free  map[uint64][]*TensorOf[T] // shape-keyed tensor free-lists
+	owned []*TensorOf[T]            // tensors handed out since the last reset
 
-	valBlocks [][]Value
+	valBlocks [][]ValueOf[T]
 	valBlock  int // block being filled
 	valUsed   int // entries used in that block
 
-	ints slab[int]
-	f64s slab[float64]
-	vals slab[*Value]
+	ints    slab[int]
+	scalars slab[T]
+	vals    slab[*ValueOf[T]]
 
 	// Plain (non-atomic) observability counters: the arena is
 	// single-threaded by design, and readers sample them between passes via
@@ -90,7 +90,7 @@ func shapeKey(rows, cols int) uint64 {
 
 // tensor returns a zeroed rows x cols tensor, recycled when a slab of that
 // shape is on the free-list.
-func (a *arena) tensor(rows, cols int) *Tensor {
+func (a *arena[T]) tensor(rows, cols int) *TensorOf[T] {
 	key := shapeKey(rows, cols)
 	if fl := a.free[key]; len(fl) > 0 {
 		t := fl[len(fl)-1]
@@ -101,9 +101,31 @@ func (a *arena) tensor(rows, cols int) *Tensor {
 		return t
 	}
 	if a.free == nil {
-		a.free = make(map[uint64][]*Tensor)
+		a.free = make(map[uint64][]*TensorOf[T])
 	}
-	t := NewTensor(rows, cols)
+	t := NewTensorOf[T](rows, cols)
+	a.owned = append(a.owned, t)
+	a.allocated++
+	return t
+}
+
+// tensorRaw is tensor without the zeroing of recycled storage: the recycled
+// slab still holds the previous pass's values. Only for op results whose
+// forward kernel stores every element before any read; accumulating kernels
+// (scatter-add, segment attention) and gradient buffers must use tensor.
+func (a *arena[T]) tensorRaw(rows, cols int) *TensorOf[T] {
+	key := shapeKey(rows, cols)
+	if fl := a.free[key]; len(fl) > 0 {
+		t := fl[len(fl)-1]
+		a.free[key] = fl[:len(fl)-1]
+		a.owned = append(a.owned, t)
+		a.reused++
+		return t
+	}
+	if a.free == nil {
+		a.free = make(map[uint64][]*TensorOf[T])
+	}
+	t := NewTensorOf[T](rows, cols)
 	a.owned = append(a.owned, t)
 	a.allocated++
 	return t
@@ -111,9 +133,9 @@ func (a *arena) tensor(rows, cols int) *Tensor {
 
 // value returns a zeroed Value from the slab. The pointer stays valid until
 // the tape is garbage; reset only recycles the storage for reuse.
-func (a *arena) value() *Value {
+func (a *arena[T]) value() *ValueOf[T] {
 	if a.valBlock == len(a.valBlocks) {
-		a.valBlocks = append(a.valBlocks, make([]Value, valueBlockSize))
+		a.valBlocks = append(a.valBlocks, make([]ValueOf[T], valueBlockSize))
 	}
 	blk := a.valBlocks[a.valBlock]
 	v := &blk[a.valUsed]
@@ -122,13 +144,13 @@ func (a *arena) value() *Value {
 		a.valBlock++
 		a.valUsed = 0
 	}
-	*v = Value{}
+	*v = ValueOf[T]{}
 	return v
 }
 
 // reset returns every outstanding tensor to its free-list and rewinds the
 // slabs. Callers must drop all references obtained since the previous reset.
-func (a *arena) reset() {
+func (a *arena[T]) reset() {
 	for _, t := range a.owned {
 		key := shapeKey(t.Rows, t.Cols)
 		a.free[key] = append(a.free[key], t)
@@ -136,7 +158,7 @@ func (a *arena) reset() {
 	a.owned = a.owned[:0]
 	a.valBlock, a.valUsed = 0, 0
 	a.ints.reset()
-	a.f64s.reset()
+	a.scalars.reset()
 	a.vals.reset()
 	a.resets++
 }

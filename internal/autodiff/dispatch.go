@@ -1,0 +1,192 @@
+package autodiff
+
+// Referencing a generic function as a value inside generic code (e.g.
+// passing addFwdChunk[T] to par.ForCtx from a TapeOf[T] method) makes the
+// runtime build a closure binding the instantiation dictionary — one heap
+// allocation per reference, which would put two allocations back into every
+// op and break the zero-alloc steady state (TestTapeReuseZeroAllocs).
+//
+// opTable fixes that: every backward and chunk function the ops hand out by
+// value is materialised ONCE per dtype at package init, and the ops read the
+// stored func values (a struct field load — no allocation). Float is a
+// closed two-member set, so two tables cover every instantiation.
+type opTable[T Float] struct {
+	// Backward functions (newNode's back argument).
+	matMulBack           func(*ValueOf[T])
+	matMulTBack          func(*ValueOf[T])
+	addBack              func(*ValueOf[T])
+	subBack              func(*ValueOf[T])
+	mulBack              func(*ValueOf[T])
+	scaleBack            func(*ValueOf[T])
+	addRowBroadcastBack  func(*ValueOf[T])
+	mulColBroadcastBack  func(*ValueOf[T])
+	leakyReLUBack        func(*ValueOf[T])
+	sigmoidBack          func(*ValueOf[T])
+	tanhBack             func(*ValueOf[T])
+	expBack              func(*ValueOf[T])
+	clampMaxBack         func(*ValueOf[T])
+	softClampBack        func(*ValueOf[T])
+	concatBack           func(*ValueOf[T])
+	gatherBack           func(*ValueOf[T])
+	scatterAddRowsBack   func(*ValueOf[T])
+	segmentSoftmaxBack   func(*ValueOf[T])
+	sumAllBack           func(*ValueOf[T])
+	sumRowsBack          func(*ValueOf[T])
+	rowSoftmaxBack       func(*ValueOf[T])
+	linearBack           func(*ValueOf[T])
+	gatherConcatBack     func(*ValueOf[T])
+	segmentAttentionBack func(*ValueOf[T])
+
+	// Parallel chunk functions with the node as context.
+	addFwdChunk             func(*ValueOf[T], int, int)
+	addBackChunk            func(*ValueOf[T], int, int)
+	subFwdChunk             func(*ValueOf[T], int, int)
+	subBackChunk            func(*ValueOf[T], int, int)
+	mulFwdChunk             func(*ValueOf[T], int, int)
+	mulBackChunk            func(*ValueOf[T], int, int)
+	scaleFwdChunk           func(*ValueOf[T], int, int)
+	scaleBackChunk          func(*ValueOf[T], int, int)
+	addRowBroadcastFwdChunk func(*ValueOf[T], int, int)
+	mulColBroadcastFwdChunk func(*ValueOf[T], int, int)
+	mulColBroadcastBkChunk  func(*ValueOf[T], int, int)
+	leakyReLUFwdChunk       func(*ValueOf[T], int, int)
+	leakyReLUBackChunk      func(*ValueOf[T], int, int)
+	sigmoidFwdChunk         func(*ValueOf[T], int, int)
+	sigmoidBackChunk        func(*ValueOf[T], int, int)
+	tanhFwdChunk            func(*ValueOf[T], int, int)
+	tanhBackChunk           func(*ValueOf[T], int, int)
+	expFwdChunk             func(*ValueOf[T], int, int)
+	expBackChunk            func(*ValueOf[T], int, int)
+	clampMaxFwdChunk        func(*ValueOf[T], int, int)
+	clampMaxBackChunk       func(*ValueOf[T], int, int)
+	softClampFwdChunk       func(*ValueOf[T], int, int)
+	softClampBackChunk      func(*ValueOf[T], int, int)
+	concatFwdChunk          func(*ValueOf[T], int, int)
+	concatBackChunk         func(*ValueOf[T], int, int)
+	gatherFwdChunk          func(*ValueOf[T], int, int)
+	scatterAddRowsBkChunk   func(*ValueOf[T], int, int)
+	sumRowsFwdChunk         func(*ValueOf[T], int, int)
+	sumRowsBackChunk        func(*ValueOf[T], int, int)
+	rowSoftmaxFwdChunk      func(*ValueOf[T], int, int)
+	rowSoftmaxBackChunk     func(*ValueOf[T], int, int)
+	linearFwdChunk          func(*ValueOf[T], int, int)
+	gatherConcatFwdChunk    func(*ValueOf[T], int, int)
+
+	// Chunk functions with args-struct contexts.
+	gemmChunk           func(gemmArgs[T], int, int)
+	gemmBTChunk         func(gemmArgs[T], int, int)
+	gemmATChunk         func(gemmArgs[T], int, int)
+	segSoftmaxFwdChunk  func(segSoftmaxArgs[T], int, int)
+	segSoftmaxBackChunk func(segSoftmaxArgs[T], int, int)
+	segScatterChunk     func(segScatterArgs[T], int, int)
+	lreluRouteChunk     func(lreluRouteArgs[T], int, int)
+	stridedAddChunk     func(stridedAddArgs[T], int, int)
+	stridedScatterChunk func(stridedScatterArgs[T], int, int)
+	segAttnAggChunk     func(segAttnAggArgs[T], int, int)
+	segAttnEdgeChunk    func(segAttnEdgeArgs[T], int, int)
+
+	// Adam chunks.
+	adamZeroChunk func(*AdamOf[T], int, int)
+	adamStepChunk func(adamStepArgs[T], int, int)
+}
+
+func newOpTable[T Float]() *opTable[T] {
+	return &opTable[T]{
+		matMulBack:           matMulBack[T],
+		matMulTBack:          matMulTBack[T],
+		addBack:              addBack[T],
+		subBack:              subBack[T],
+		mulBack:              mulBack[T],
+		scaleBack:            scaleBack[T],
+		addRowBroadcastBack:  addRowBroadcastBack[T],
+		mulColBroadcastBack:  mulColBroadcastBack[T],
+		leakyReLUBack:        leakyReLUBack[T],
+		sigmoidBack:          sigmoidBack[T],
+		tanhBack:             tanhBack[T],
+		expBack:              expBack[T],
+		clampMaxBack:         clampMaxBack[T],
+		softClampBack:        softClampBack[T],
+		concatBack:           concatBack[T],
+		gatherBack:           gatherBack[T],
+		scatterAddRowsBack:   scatterAddRowsBack[T],
+		segmentSoftmaxBack:   segmentSoftmaxBack[T],
+		sumAllBack:           sumAllBack[T],
+		sumRowsBack:          sumRowsBack[T],
+		rowSoftmaxBack:       rowSoftmaxBack[T],
+		linearBack:           linearBack[T],
+		gatherConcatBack:     gatherConcatBack[T],
+		segmentAttentionBack: segmentAttentionBack[T],
+
+		addFwdChunk:             addFwdChunk[T],
+		addBackChunk:            addBackChunk[T],
+		subFwdChunk:             subFwdChunk[T],
+		subBackChunk:            subBackChunk[T],
+		mulFwdChunk:             mulFwdChunk[T],
+		mulBackChunk:            mulBackChunk[T],
+		scaleFwdChunk:           scaleFwdChunk[T],
+		scaleBackChunk:          scaleBackChunk[T],
+		addRowBroadcastFwdChunk: addRowBroadcastFwdChunk[T],
+		mulColBroadcastFwdChunk: mulColBroadcastFwdChunk[T],
+		mulColBroadcastBkChunk:  mulColBroadcastBackChunk[T],
+		leakyReLUFwdChunk:       leakyReLUFwdChunk[T],
+		leakyReLUBackChunk:      leakyReLUBackChunk[T],
+		sigmoidFwdChunk:         sigmoidFwdChunk[T],
+		sigmoidBackChunk:        sigmoidBackChunk[T],
+		tanhFwdChunk:            tanhFwdChunk[T],
+		tanhBackChunk:           tanhBackChunk[T],
+		expFwdChunk:             expFwdChunk[T],
+		expBackChunk:            expBackChunk[T],
+		clampMaxFwdChunk:        clampMaxFwdChunk[T],
+		clampMaxBackChunk:       clampMaxBackChunk[T],
+		softClampFwdChunk:       softClampFwdChunk[T],
+		softClampBackChunk:      softClampBackChunk[T],
+		concatFwdChunk:          concatFwdChunk[T],
+		concatBackChunk:         concatBackChunk[T],
+		gatherFwdChunk:          gatherFwdChunk[T],
+		scatterAddRowsBkChunk:   scatterAddRowsBackChunk[T],
+		sumRowsFwdChunk:         sumRowsFwdChunk[T],
+		sumRowsBackChunk:        sumRowsBackChunk[T],
+		rowSoftmaxFwdChunk:      rowSoftmaxFwdChunk[T],
+		rowSoftmaxBackChunk:     rowSoftmaxBackChunk[T],
+		linearFwdChunk:          linearFwdChunk[T],
+		gatherConcatFwdChunk:    gatherConcatFwdChunk[T],
+
+		gemmChunk:           gemmChunk[T],
+		gemmBTChunk:         gemmBTChunk[T],
+		gemmATChunk:         gemmATChunk[T],
+		segSoftmaxFwdChunk:  segSoftmaxFwdChunk[T],
+		segSoftmaxBackChunk: segSoftmaxBackChunk[T],
+		segScatterChunk:     segScatterChunk[T],
+		lreluRouteChunk:     lreluRouteChunk[T],
+		stridedAddChunk:     stridedAddChunk[T],
+		stridedScatterChunk: stridedScatterChunk[T],
+		segAttnAggChunk:     segAttnAggChunk[T],
+		segAttnEdgeChunk:    segAttnEdgeChunk[T],
+
+		adamZeroChunk: adamZeroChunk[T],
+		adamStepChunk: adamStepChunk[T],
+	}
+}
+
+var (
+	opTable32 *opTable[float32]
+	opTable64 *opTable[float64]
+)
+
+// Assigned in init (not var initialisers) to break the spurious static
+// initialisation cycle the compiler sees between the tables, the op
+// functions, and opsFor.
+func init() {
+	opTable32 = newOpTable[float32]()
+	opTable64 = newOpTable[float64]()
+}
+
+// opsFor returns the dtype's function table: a type switch on the zero value
+// plus a pointer assertion, both allocation-free.
+func opsFor[T Float]() *opTable[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(opTable32).(*opTable[T])
+	}
+	return any(opTable64).(*opTable[T])
+}

@@ -19,18 +19,21 @@ import (
 
 // Linear returns x @ w + bias (bias 1 x n, broadcast over rows) as one
 // kernel: the gemm epilogue adds the bias while the output row is hot.
-func (tp *Tape) Linear(x, w, bias *Value) *Value {
+func (tp *TapeOf[T]) Linear(x, w, bias *ValueOf[T]) *ValueOf[T] {
 	return tp.linear(x, w, bias, 0, false)
 }
 
-// LinearLeakyReLU returns LeakyReLU(x @ w + bias, slope) as one kernel. The
-// pre-activation is stashed on the node (the slope mask cannot be recovered
-// from the output when slope is 0), so the backward pass is exact.
-func (tp *Tape) LinearLeakyReLU(x, w, bias *Value, slope float64) *Value {
+// LinearLeakyReLU returns LeakyReLU(x @ w + bias, slope) as one kernel. On
+// gradient tapes the pre-activation is stashed on the node (the slope mask
+// cannot be recovered from the output when slope is 0), so the backward pass
+// is exact. On inference tapes no stash is allocated: the nonlinearity is
+// applied in place on the output — same elementwise operations, one fewer
+// m x n tensor of memory traffic per call.
+func (tp *TapeOf[T]) LinearLeakyReLU(x, w, bias *ValueOf[T], slope T) *ValueOf[T] {
 	return tp.linear(x, w, bias, slope, true)
 }
 
-func (tp *Tape) linear(x, w, bias *Value, slope float64, epilogue bool) *Value {
+func (tp *TapeOf[T]) linear(x, w, bias *ValueOf[T], slope T, epilogue bool) *ValueOf[T] {
 	if x.Val.Cols != w.Val.Rows {
 		panic(fmt.Sprintf("autodiff: linear %s @ %s", x.Val.shape(), w.Val.shape()))
 	}
@@ -38,24 +41,29 @@ func (tp *Tape) linear(x, w, bias *Value, slope float64, epilogue bool) *Value {
 		panic(fmt.Sprintf("autodiff: linear bias %s for %s output", bias.Val.shape(), w.Val.shape()))
 	}
 	m, k, n := x.Val.Rows, x.Val.Cols, w.Val.Cols
-	v := tp.newNode(m, n, linearBack)
+	v := tp.newNodeStored(m, n, opsFor[T]().linearBack)
 	v.src0, v.src1, v.src2, v.s0 = x, w, bias, slope
 	if epilogue {
-		v.aux = tp.arena.tensor(m, n)
+		v.n = 1
+		if !tp.noGrad {
+			// Pre-activation stash: gemmChunk stores every element, so the
+			// recycled slab needs no zeroing.
+			v.aux = tp.arena.tensorRaw(m, n)
+		}
 	}
-	par.ForCtx(m, rowGrain(m, k*n), v, linearFwdChunk)
+	par.ForCtx(m, rowGrain(m, k*n), v, opsFor[T]().linearFwdChunk)
 	return v
 }
 
-func linearFwdChunk(v *Value, lo, hi int) {
+func linearFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	n := v.Val.Cols
-	// gemm into the pre-activation buffer (v.aux when an epilogue follows,
-	// else the output itself), then add the bias row by row.
+	// gemm into the pre-activation buffer (v.aux when a backward pass will
+	// need the stash, else the output itself), then add the bias row by row.
 	pre := v.Val
 	if v.aux != nil {
 		pre = v.aux
 	}
-	gemmChunk(gemmArgs{out: pre, a: v.src0.Val, b: v.src1.Val}, lo, hi)
+	gemmChunk(gemmArgs[T]{out: pre, a: v.src0.Val, b: v.src1.Val}, lo, hi)
 	bias := v.src2.Val.Data
 	for i := lo; i < hi; i++ {
 		row := pre.Data[i*n : (i+1)*n]
@@ -63,7 +71,9 @@ func linearFwdChunk(v *Value, lo, hi int) {
 			row[j] += bv
 		}
 	}
-	if v.aux != nil {
+	if v.n == 1 {
+		// LeakyReLU epilogue; when pre aliases the output (inference) this
+		// rewrites it in place — bitwise the same values.
 		slope := v.s0
 		out := v.Val.Data
 		for i := lo * n; i < hi*n; i++ {
@@ -77,13 +87,13 @@ func linearFwdChunk(v *Value, lo, hi int) {
 }
 
 // lreluRouteArgs routes an output gradient through the LeakyReLU mask of a
-// stashed pre-activation: dst[i] = g[i] or g[i]*slope (dst is zeroed).
-type lreluRouteArgs struct {
-	g, x, dst []float64
-	slope     float64
+// stashed pre-activation: dst[i] = g[i] or g[i]*slope (every entry stored).
+type lreluRouteArgs[T Float] struct {
+	g, x, dst []T
+	slope     T
 }
 
-func lreluRouteChunk(a lreluRouteArgs, lo, hi int) {
+func lreluRouteChunk[T Float](a lreluRouteArgs[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		if a.x[i] >= 0 {
 			a.dst[i] = a.g[i]
@@ -93,13 +103,13 @@ func lreluRouteChunk(a lreluRouteArgs, lo, hi int) {
 	}
 }
 
-func linearBack(v *Value) {
+func linearBack[T Float](v *ValueOf[T]) {
 	x, w, bias := v.src0, v.src1, v.src2
 	m, n := v.Val.Rows, v.Val.Cols
 	gPre := v.Grad
 	if v.aux != nil {
-		t := v.tape.arena.tensor(m, n)
-		par.ForCtx(m*n, elemGrain(m*n), lreluRouteArgs{g: v.Grad.Data, x: v.aux.Data, dst: t.Data, slope: v.s0}, lreluRouteChunk)
+		t := v.tape.arena.tensorRaw(m, n)
+		par.ForCtx(m*n, elemGrain(m*n), lreluRouteArgs[T]{g: v.Grad.Data, x: v.aux.Data, dst: t.Data, slope: v.s0}, opsFor[T]().lreluRouteChunk)
 		gPre = t
 	}
 	// Bias gradient: serial row-major accumulation, the AddRowBroadcast
@@ -121,7 +131,7 @@ func linearBack(v *Value) {
 // [Θd·v_dst ‖ Θn·v_src ‖ Θe·e] with only the dst part gathered — the src
 // part arrives pre-gathered because it is shared with the message term,
 // which keeps the gradient accumulation order of the composed graph.
-func (tp *Tape) GatherConcat(a *Value, ai []int, b *Value, bi []int, e *Value) *Value {
+func (tp *TapeOf[T]) GatherConcat(a *ValueOf[T], ai []int, b *ValueOf[T], bi []int, e *ValueOf[T]) *ValueOf[T] {
 	rows := len(ai)
 	if br := b.Val.Rows; (bi == nil && br != rows) || (bi != nil && len(bi) != rows) {
 		panic("autodiff: GatherConcat part b row mismatch")
@@ -130,14 +140,14 @@ func (tp *Tape) GatherConcat(a *Value, ai []int, b *Value, bi []int, e *Value) *
 		panic("autodiff: GatherConcat part e row mismatch")
 	}
 	total := a.Val.Cols + b.Val.Cols + e.Val.Cols
-	v := tp.newNode(rows, total, gatherConcatBack)
+	v := tp.newNodeStored(rows, total, opsFor[T]().gatherConcatBack)
 	v.src0, v.src1, v.src2 = a, b, e
 	v.idx, v.idx2 = ai, bi
-	par.ForCtx(rows, rowGrain(rows, total), v, gatherConcatFwdChunk)
+	par.ForCtx(rows, rowGrain(rows, total), v, opsFor[T]().gatherConcatFwdChunk)
 	return v
 }
 
-func gatherConcatFwdChunk(v *Value, lo, hi int) {
+func gatherConcatFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	a, b, e := v.src0.Val, v.src1.Val, v.src2.Val
 	c0, c1, c2 := a.Cols, b.Cols, e.Cols
 	total := v.Val.Cols
@@ -153,7 +163,7 @@ func gatherConcatFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func gatherConcatBack(v *Value) {
+func gatherConcatBack[T Float](v *ValueOf[T]) {
 	c0, c1 := v.src0.Val.Cols, v.src1.Val.Cols
 	gatherConcatBackPart(v, v.src0, v.idx, 0)
 	gatherConcatBackPart(v, v.src1, v.idx2, c0)
@@ -164,12 +174,12 @@ func gatherConcatBack(v *Value) {
 // Direct parts add row-aligned; gathered parts scatter grouped by source row
 // in increasing edge order — the same order the composed Gather backward
 // uses.
-func gatherConcatBackPart(v *Value, p *Value, idx []int, off int) {
+func gatherConcatBackPart[T Float](v *ValueOf[T], p *ValueOf[T], idx []int, off int) {
 	cols := p.Val.Cols
 	total := v.Val.Cols
 	if idx == nil {
 		par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, cols),
-			stridedAddArgs{dst: p.Grad.Data, src: v.Grad.Data, cols: cols, stride: total, off: off}, stridedAddChunk)
+			stridedAddArgs[T]{dst: p.Grad.Data, src: v.Grad.Data, cols: cols, stride: total, off: off}, opsFor[T]().stridedAddChunk)
 		return
 	}
 	pRows := p.Val.Rows
@@ -186,18 +196,18 @@ func gatherConcatBackPart(v *Value, p *Value, idx []int, off int) {
 	}
 	sidx := buildSegmentIndex(v.tape, idx, pRows)
 	par.ForCtx(pRows, grain,
-		stridedScatterArgs{dst: p.Grad.Data, src: v.Grad.Data, cols: cols, stride: total, off: off, sidx: sidx}, stridedScatterChunk)
+		stridedScatterArgs[T]{dst: p.Grad.Data, src: v.Grad.Data, cols: cols, stride: total, off: off, sidx: sidx}, opsFor[T]().stridedScatterChunk)
 }
 
 // stridedAddArgs adds a column band of a strided source into a dense
 // destination, row-aligned.
-type stridedAddArgs struct {
-	dst, src    []float64
+type stridedAddArgs[T Float] struct {
+	dst, src    []T
 	cols        int
 	stride, off int
 }
 
-func stridedAddChunk(a stridedAddArgs, lo, hi int) {
+func stridedAddChunk[T Float](a stridedAddArgs[T], lo, hi int) {
 	for r := lo; r < hi; r++ {
 		d := a.dst[r*a.cols : (r+1)*a.cols]
 		s := a.src[r*a.stride+a.off : r*a.stride+a.off+a.cols]
@@ -209,14 +219,14 @@ func stridedAddChunk(a stridedAddArgs, lo, hi int) {
 
 // stridedScatterArgs is segScatterArgs with a strided, column-offset source:
 // destination row r folds the source rows listed by sidx in increasing order.
-type stridedScatterArgs struct {
-	dst, src    []float64
+type stridedScatterArgs[T Float] struct {
+	dst, src    []T
 	cols        int
 	stride, off int
 	sidx        segmentIndex
 }
 
-func stridedScatterChunk(a stridedScatterArgs, lo, hi int) {
+func stridedScatterChunk[T Float](a stridedScatterArgs[T], lo, hi int) {
 	for r := lo; r < hi; r++ {
 		d := a.dst[r*a.cols : (r+1)*a.cols]
 		for _, i := range a.sidx.rows[a.sidx.off[r]:a.sidx.off[r+1]] {
@@ -233,14 +243,14 @@ func stridedScatterChunk(a stridedScatterArgs, lo, hi int) {
 // alpha[e] * msg[e], without materialising alpha or the weighted messages as
 // graph nodes. score is E x 1, msg is E x cols, out is nSeg x cols. The
 // attention weights are stashed on the node for the backward pass.
-func (tp *Tape) SegmentAttention(score, msg *Value, seg []int, nSeg int) *Value {
+func (tp *TapeOf[T]) SegmentAttention(score, msg *ValueOf[T], seg []int, nSeg int) *ValueOf[T] {
 	if score.Val.Cols != 1 || len(seg) != score.Val.Rows || msg.Val.Rows != score.Val.Rows {
 		panic("autodiff: SegmentAttention requires E x 1 scores, E x cols messages and E segment ids")
 	}
 	cols := msg.Val.Cols
-	v := tp.newNode(nSeg, cols, segmentAttentionBack)
+	v := tp.newNode(nSeg, cols, opsFor[T]().segmentAttentionBack)
 	v.src0, v.src1, v.idx, v.n = score, msg, seg, nSeg
-	v.aux = tp.arena.tensor(score.Val.Rows, 1)
+	v.aux = tp.arena.tensorRaw(score.Val.Rows, 1)
 	v.sidx = segmentSoftmaxForward(tp, v.aux, score.Val, seg, nSeg)
 
 	alpha := v.aux.Data
@@ -262,20 +272,20 @@ func (tp *Tape) SegmentAttention(score, msg *Value, seg []int, nSeg int) *Value 
 			v.sidx = sidx
 		}
 		par.ForCtx(nSeg, grain,
-			segAttnAggArgs{out: v.Val.Data, msg: msg.Val.Data, alpha: alpha, cols: cols, sidx: sidx}, segAttnAggChunk)
+			segAttnAggArgs[T]{out: v.Val.Data, msg: msg.Val.Data, alpha: alpha, cols: cols, sidx: sidx}, opsFor[T]().segAttnAggChunk)
 	}
 	return v
 }
 
 // segAttnAggArgs drives the weighted-scatter aggregation: output row s folds
 // alpha[e] * msg[e] over its edges in increasing e.
-type segAttnAggArgs struct {
-	out, msg, alpha []float64
+type segAttnAggArgs[T Float] struct {
+	out, msg, alpha []T
 	cols            int
 	sidx            segmentIndex
 }
 
-func segAttnAggChunk(a segAttnAggArgs, lo, hi int) {
+func segAttnAggChunk[T Float](a segAttnAggArgs[T], lo, hi int) {
 	for s := lo; s < hi; s++ {
 		ro := a.out[s*a.cols : (s+1)*a.cols]
 		for _, e := range a.sidx.rows[a.sidx.off[s]:a.sidx.off[s+1]] {
@@ -291,18 +301,18 @@ func segAttnAggChunk(a segAttnAggArgs, lo, hi int) {
 // segAttnEdgeArgs drives the per-edge backward pass: msg.Grad picks up the
 // alpha-scaled output gradient, and dAlpha[e] collects <dOut[seg[e]],
 // msg[e]> for the softmax backward.
-type segAttnEdgeArgs struct {
-	gOut, msgV, msgG, alpha, dAlpha []float64
+type segAttnEdgeArgs[T Float] struct {
+	gOut, msgV, msgG, alpha, dAlpha []T
 	seg                             []int
 	cols                            int
 }
 
-func segAttnEdgeChunk(a segAttnEdgeArgs, lo, hi int) {
+func segAttnEdgeChunk[T Float](a segAttnEdgeArgs[T], lo, hi int) {
 	for e := lo; e < hi; e++ {
 		s := a.seg[e]
 		gv := a.gOut[s*a.cols : (s+1)*a.cols]
 		f := a.alpha[e]
-		var dot float64
+		var dot T
 		for j, g := range gv {
 			a.msgG[e*a.cols+j] += g * f
 			dot += g * a.msgV[e*a.cols+j]
@@ -311,13 +321,13 @@ func segAttnEdgeChunk(a segAttnEdgeArgs, lo, hi int) {
 	}
 }
 
-func segmentAttentionBack(v *Value) {
+func segmentAttentionBack[T Float](v *ValueOf[T]) {
 	score, msg := v.src0, v.src1
 	cols := msg.Val.Cols
 	e := msg.Val.Rows
-	dAlpha := v.tape.arena.f64s.take(e)
+	dAlpha := v.tape.arena.scalars.take(e)
 	par.ForCtx(e, rowGrain(e, cols),
-		segAttnEdgeArgs{gOut: v.Grad.Data, msgV: msg.Val.Data, msgG: msg.Grad.Data,
-			alpha: v.aux.Data, dAlpha: dAlpha, seg: v.idx, cols: cols}, segAttnEdgeChunk)
+		segAttnEdgeArgs[T]{gOut: v.Grad.Data, msgV: msg.Val.Data, msgG: msg.Grad.Data,
+			alpha: v.aux.Data, dAlpha: dAlpha, seg: v.idx, cols: cols}, opsFor[T]().segAttnEdgeChunk)
 	segmentSoftmaxBackward(v.tape, score.Grad.Data, v.aux.Data, dAlpha, v.idx, v.n, v.sidx)
 }

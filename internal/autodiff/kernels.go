@@ -1,7 +1,6 @@
 package autodiff
 
 import (
-	"math"
 	"sync"
 
 	"sate/internal/par"
@@ -15,19 +14,20 @@ import (
 //
 // The kernels are cache-blocked for L1/L2 locality: output rows are
 // processed in tiles of gemmRowTile (so a row of b is reused across several
-// rows of a while it is hot), and the j dimension in blocks of gemmColBlock
-// float64s (≈2KB, comfortably L1-resident together with the accumulator
-// rows). Blocking only reorders WHICH (i, j) cell is touched when; for any
-// single output element the terms are still added in increasing p, so the
-// result is bitwise identical to the unblocked axpy loop.
+// rows of a while it is hot), and the j dimension in blocks of colBlockOf[T]
+// elements (≈2KB per block regardless of dtype — 256 float64s or 512
+// float32s — comfortably L1-resident together with the accumulator rows).
+// Blocking only reorders WHICH (i, j) cell is touched when; for any single
+// output element the terms are still added in increasing p, so the result is
+// bitwise identical to the unblocked axpy loop.
 //
 // The accumulate flag selects between out = product (forward) and
 // out += product (backward gradient accumulation). In accumulate mode each
 // output row's contribution is summed into a zeroed scratch row first and
 // added to out in one pass, preserving the exact floating-point order of
 // the original compute-s-then-add backward loops. Scratch rows come from a
-// process-wide sync.Pool (chunks may run on pool goroutines, so they cannot
-// touch the single-threaded tape arena).
+// per-dtype process-wide sync.Pool (chunks may run on pool goroutines, so
+// they cannot touch the single-threaded tape arena).
 
 // kernelFlopTarget is the minimum number of multiply-adds a chunk should
 // carry so goroutine dispatch stays negligible.
@@ -42,8 +42,16 @@ const segGrainMin = 64
 // each streamed row of b across all of them.
 const gemmRowTile = 4
 
-// gemmColBlock is the j-dimension block width in float64s.
-const gemmColBlock = 256
+// colBlockOf is the j-dimension block width in elements, tuned so a block is
+// ~2KB for either dtype: 256 float64s, 512 float32s. Compiles to a constant
+// per instantiation.
+func colBlockOf[T Float]() int {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return 512
+	}
+	return 256
+}
 
 // rowGrain picks the par grain for a kernel over rows where each row costs
 // about rowCost multiply-adds.
@@ -55,91 +63,195 @@ func rowGrain(rows, rowCost int) int {
 	return par.Grain(rows, min)
 }
 
-// scratchPool recycles per-chunk accumulator rows. Entries are *[]float64
-// (not []float64) so Get/Put avoid an interface-boxing allocation.
-var scratchPool sync.Pool
+// scratch32/scratch64 recycle per-chunk accumulator rows, one pool per
+// dtype (sync.Pool is not generic). Entries are *[]T (not []T) so Get/Put
+// avoid an interface-boxing allocation.
+var (
+	scratch32 sync.Pool
+	scratch64 sync.Pool
+)
 
-func getScratch(n int) *[]float64 {
-	if p, _ := scratchPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+func poolFor[T Float]() *sync.Pool {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return &scratch32
+	}
+	return &scratch64
+}
+
+func getScratch[T Float](n int) *[]T {
+	if p, _ := poolFor[T]().Get().(*[]T); p != nil && cap(*p) >= n {
 		*p = (*p)[:n]
 		return p
 	}
-	s := make([]float64, n)
+	s := make([]T, n)
 	return &s
 }
 
-func putScratch(p *[]float64) { scratchPool.Put(p) }
+func putScratch[T Float](p *[]T) { poolFor[T]().Put(p) }
 
 // gemmArgs carries one kernel launch's operands into the static chunk
 // functions (closure-free: see par.ForCtx).
-type gemmArgs struct {
-	out, a, b  *Tensor
+type gemmArgs[T Float] struct {
+	out, a, b  *TensorOf[T]
 	accumulate bool
 }
 
 // gemm computes out (+)= a @ b (a: m x k, b: k x n, out: m x n). When
 // accumulate is false the caller must pass a zero-initialised out (all
 // callers hand it an arena-zeroed tensor); rows are accumulated in place.
-func gemm(out, a, b *Tensor, accumulate bool) {
+func gemm[T Float](out, a, b *TensorOf[T], accumulate bool) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	par.ForCtx(m, rowGrain(m, k*n), gemmArgs{out, a, b, accumulate}, gemmChunk)
+	par.ForCtx(m, rowGrain(m, k*n), gemmArgs[T]{out, a, b, accumulate}, opsFor[T]().gemmChunk)
 }
 
-func gemmChunk(g gemmArgs, lo, hi int) {
+func gemmChunk[T Float](g gemmArgs[T], lo, hi int) {
 	a, b, out := g.a, g.b, g.out
 	k, n := a.Cols, b.Cols
-	var acc []float64
+	bd := b.Data
+	// Register-blocked 4x4 microkernel over full row tiles: sixteen
+	// accumulators live in registers across the whole p sweep, so the inner
+	// loop issues no stores and only eight loads per sixteen multiply-adds.
+	// Every output element still sums its terms serially in increasing p —
+	// the identical operation sequence (+0 start, += term per p) as the
+	// row-sweep form — so the result is bitwise identical for any tiling. A
+	// p whose four a-entries are all zero contributes nothing and may be
+	// skipped on the forward path; the backward path keeps every term so
+	// non-finite gradients propagate exactly as the direct dot product would.
+	i0 := lo
+	for ; i0+gemmRowTile <= hi; i0 += gemmRowTile {
+		base := i0 * k
+		a0 := a.Data[base : base+k]
+		a1 := a.Data[base+k : base+2*k]
+		a2 := a.Data[base+2*k : base+3*k]
+		a3 := a.Data[base+3*k : base+4*k]
+		o0 := out.Data[(i0+0)*n : (i0+1)*n]
+		o1 := out.Data[(i0+1)*n : (i0+2)*n]
+		o2 := out.Data[(i0+2)*n : (i0+3)*n]
+		o3 := out.Data[(i0+3)*n : (i0+4)*n]
+		jt := 0
+		for ; jt+4 <= n; jt += 4 {
+			var c00, c01, c02, c03 T
+			var c10, c11, c12, c13 T
+			var c20, c21, c22, c23 T
+			var c30, c31, c32, c33 T
+			off := jt
+			for p := 0; p < k; p++ {
+				v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 && !g.accumulate {
+					off += n
+					continue
+				}
+				bp := bd[off : off+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				off += n
+				c00 += v0 * b0
+				c01 += v0 * b1
+				c02 += v0 * b2
+				c03 += v0 * b3
+				c10 += v1 * b0
+				c11 += v1 * b1
+				c12 += v1 * b2
+				c13 += v1 * b3
+				c20 += v2 * b0
+				c21 += v2 * b1
+				c22 += v2 * b2
+				c23 += v2 * b3
+				c30 += v3 * b0
+				c31 += v3 * b1
+				c32 += v3 * b2
+				c33 += v3 * b3
+			}
+			if g.accumulate {
+				o0[jt], o0[jt+1], o0[jt+2], o0[jt+3] = o0[jt]+c00, o0[jt+1]+c01, o0[jt+2]+c02, o0[jt+3]+c03
+				o1[jt], o1[jt+1], o1[jt+2], o1[jt+3] = o1[jt]+c10, o1[jt+1]+c11, o1[jt+2]+c12, o1[jt+3]+c13
+				o2[jt], o2[jt+1], o2[jt+2], o2[jt+3] = o2[jt]+c20, o2[jt+1]+c21, o2[jt+2]+c22, o2[jt+3]+c23
+				o3[jt], o3[jt+1], o3[jt+2], o3[jt+3] = o3[jt]+c30, o3[jt+1]+c31, o3[jt+2]+c32, o3[jt+3]+c33
+			} else {
+				o0[jt], o0[jt+1], o0[jt+2], o0[jt+3] = c00, c01, c02, c03
+				o1[jt], o1[jt+1], o1[jt+2], o1[jt+3] = c10, c11, c12, c13
+				o2[jt], o2[jt+1], o2[jt+2], o2[jt+3] = c20, c21, c22, c23
+				o3[jt], o3[jt+1], o3[jt+2], o3[jt+3] = c30, c31, c32, c33
+			}
+		}
+		// Column remainder: 4x1 register tile.
+		for ; jt < n; jt++ {
+			var c0, c1, c2, c3 T
+			off := jt
+			for p := 0; p < k; p++ {
+				v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 && !g.accumulate {
+					off += n
+					continue
+				}
+				bv := bd[off]
+				off += n
+				c0 += v0 * bv
+				c1 += v1 * bv
+				c2 += v2 * bv
+				c3 += v3 * bv
+			}
+			if g.accumulate {
+				o0[jt] += c0
+				o1[jt] += c1
+				o2[jt] += c2
+				o3[jt] += c3
+			} else {
+				o0[jt] = c0
+				o1[jt] = c1
+				o2[jt] = c2
+				o3[jt] = c3
+			}
+		}
+	}
+	if i0 >= hi {
+		return
+	}
+	// Row remainder (fewer than gemmRowTile rows): cache-blocked axpy sweep,
+	// accumulating into zeroed scratch rows first in accumulate mode to
+	// preserve the compute-then-add term order. Non-accumulate destination
+	// rows are cleared here — out may arrive unzeroed (newNodeStored).
+	rows := hi - i0
+	colBlock := colBlockOf[T]()
+	var dst [gemmRowTile][]T
+	var acc []T
 	if g.accumulate {
-		p := getScratch(gemmRowTile * n)
+		p := getScratch[T](rows * n)
 		defer putScratch(p)
 		acc = *p
 	}
-	for i0 := lo; i0 < hi; i0 += gemmRowTile {
-		i1 := i0 + gemmRowTile
-		if i1 > hi {
-			i1 = hi
-		}
-		rows := i1 - i0
-		// Destination rows: out directly, or zeroed scratch when
-		// accumulating (folded into out once at the end).
-		var dst [gemmRowTile][]float64
-		for r := 0; r < rows; r++ {
-			if g.accumulate {
-				dst[r] = acc[r*n : (r+1)*n]
-				clear(dst[r])
-			} else {
-				dst[r] = out.Data[(i0+r)*n : (i0+r+1)*n]
-			}
-		}
-		for j0 := 0; j0 < n; j0 += gemmColBlock {
-			j1 := j0 + gemmColBlock
-			if j1 > n {
-				j1 = n
-			}
-			for p := 0; p < k; p++ {
-				rb := b.Data[p*n+j0 : p*n+j1]
-				for r := 0; r < rows; r++ {
-					av := a.Data[(i0+r)*k+p]
-					if av == 0 && !g.accumulate {
-						// Skip-zero only on the forward path (sparse inputs
-						// are common there); the backward path keeps every
-						// term so non-finite gradients propagate exactly as
-						// the direct dot-product form would.
-						continue
-					}
-					d := dst[r][j0:j1]
-					for j, bv := range rb {
-						d[j] += av * bv
-					}
-				}
-			}
-		}
+	for r := 0; r < rows; r++ {
 		if g.accumulate {
+			dst[r] = acc[r*n : (r+1)*n]
+		} else {
+			dst[r] = out.Data[(i0+r)*n : (i0+r+1)*n]
+		}
+		clear(dst[r])
+	}
+	for j0 := 0; j0 < n; j0 += colBlock {
+		j1 := j0 + colBlock
+		if j1 > n {
+			j1 = n
+		}
+		for p := 0; p < k; p++ {
+			rb := bd[p*n+j0 : p*n+j1]
 			for r := 0; r < rows; r++ {
-				ro := out.Data[(i0+r)*n : (i0+r+1)*n]
-				for j, v := range acc[r*n : (r+1)*n] {
-					ro[j] += v
+				av := a.Data[(i0+r)*k+p]
+				if av == 0 && !g.accumulate {
+					continue
 				}
+				d := dst[r][j0:j1]
+				for j, bv := range rb {
+					d[j] += av * bv
+				}
+			}
+		}
+	}
+	if g.accumulate {
+		for r := 0; r < rows; r++ {
+			ro := out.Data[(i0+r)*n : (i0+r+1)*n]
+			for j, v := range acc[r*n : (r+1)*n] {
+				ro[j] += v
 			}
 		}
 	}
@@ -149,12 +261,12 @@ func gemmChunk(g gemmArgs, lo, hi int) {
 // materialising the transpose: entry (i, j) is the dot product of row i of a
 // and row j of b, both contiguous. Row-tiled so each row of b is reused
 // across gemmRowTile rows of a.
-func gemmBT(out, a, b *Tensor, accumulate bool) {
+func gemmBT[T Float](out, a, b *TensorOf[T], accumulate bool) {
 	m, k, n := a.Rows, a.Cols, b.Rows
-	par.ForCtx(m, rowGrain(m, k*n), gemmArgs{out, a, b, accumulate}, gemmBTChunk)
+	par.ForCtx(m, rowGrain(m, k*n), gemmArgs[T]{out, a, b, accumulate}, opsFor[T]().gemmBTChunk)
 }
 
-func gemmBTChunk(g gemmArgs, lo, hi int) {
+func gemmBTChunk[T Float](g gemmArgs[T], lo, hi int) {
 	a, b, out := g.a, g.b, g.out
 	k, n := a.Cols, b.Rows
 	for i0 := lo; i0 < hi; i0 += gemmRowTile {
@@ -166,7 +278,7 @@ func gemmBTChunk(g gemmArgs, lo, hi int) {
 			rb := b.Data[j*k : (j+1)*k]
 			for i := i0; i < i1; i++ {
 				ra := a.Data[i*k : (i+1)*k]
-				var s float64
+				var s T
 				for p, bv := range rb {
 					s += ra[p] * bv
 				}
@@ -185,15 +297,15 @@ func gemmBTChunk(g gemmArgs, lo, hi int) {
 // accumulates a[r][i] * b[r] across r into scratch rows (same term order as
 // the per-entry dot product), streaming b once per tile, then folds into out
 // in one pass.
-func gemmAT(out, a, b *Tensor, accumulate bool) {
+func gemmAT[T Float](out, a, b *TensorOf[T], accumulate bool) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	par.ForCtx(k, rowGrain(k, m*n), gemmArgs{out, a, b, accumulate}, gemmATChunk)
+	par.ForCtx(k, rowGrain(k, m*n), gemmArgs[T]{out, a, b, accumulate}, opsFor[T]().gemmATChunk)
 }
 
-func gemmATChunk(g gemmArgs, lo, hi int) {
+func gemmATChunk[T Float](g gemmArgs[T], lo, hi int) {
 	a, b, out := g.a, g.b, g.out
 	m, k, n := a.Rows, a.Cols, b.Cols
-	p := getScratch(gemmRowTile * n)
+	p := getScratch[T](gemmRowTile * n)
 	defer putScratch(p)
 	acc := *p
 	for i0 := lo; i0 < hi; i0 += gemmRowTile {
@@ -239,7 +351,7 @@ type segmentIndex struct {
 	rows []int
 }
 
-func buildSegmentIndex(tp *Tape, seg []int, nSeg int) segmentIndex {
+func buildSegmentIndex[T Float](tp *TapeOf[T], seg []int, nSeg int) segmentIndex {
 	off := tp.arena.ints.takeZeroed(nSeg + 1)
 	for _, s := range seg {
 		off[s+1]++
@@ -260,8 +372,8 @@ func buildSegmentIndex(tp *Tape, seg []int, nSeg int) segmentIndex {
 // segSoftmaxArgs drives the segment-parallel softmax chunks: forward
 // normalises each segment of x into out; backward applies the softmax
 // Jacobian (ga += out * (g - <g, out>_segment)).
-type segSoftmaxArgs struct {
-	x, out, g, ga []float64
+type segSoftmaxArgs[T Float] struct {
+	x, out, g, ga []T
 	sidx          segmentIndex
 }
 
@@ -273,22 +385,22 @@ type segSoftmaxArgs struct {
 // pass performs the same floating-point operations as the serial row sweep —
 // bitwise identical for every worker count. When one chunk would run anyway,
 // the cache-friendly linear sweep skips the index build.
-func segmentSoftmaxForward(tp *Tape, out, x *Tensor, seg []int, nSeg int) segmentIndex {
+func segmentSoftmaxForward[T Float](tp *TapeOf[T], out, x *TensorOf[T], seg []int, nSeg int) segmentIndex {
 	n := x.Rows
 	grain := par.Grain(nSeg, segGrainMin)
 	if par.NumChunks(nSeg, grain) <= 1 {
-		maxv := tp.arena.f64s.take(nSeg)
+		maxv := tp.arena.scalars.take(nSeg)
 		for i := range maxv {
-			maxv[i] = math.Inf(-1)
+			maxv[i] = negInfT[T]()
 		}
 		for i := 0; i < n; i++ {
 			if x.Data[i] > maxv[seg[i]] {
 				maxv[seg[i]] = x.Data[i]
 			}
 		}
-		sum := tp.arena.f64s.takeZeroed(nSeg)
+		sum := tp.arena.scalars.takeZeroed(nSeg)
 		for i := 0; i < n; i++ {
-			out.Data[i] = math.Exp(x.Data[i] - maxv[seg[i]])
+			out.Data[i] = expT(x.Data[i] - maxv[seg[i]])
 			sum[seg[i]] += out.Data[i]
 		}
 		for i := 0; i < n; i++ {
@@ -297,22 +409,22 @@ func segmentSoftmaxForward(tp *Tape, out, x *Tensor, seg []int, nSeg int) segmen
 		return segmentIndex{}
 	}
 	sidx := buildSegmentIndex(tp, seg, nSeg)
-	par.ForCtx(nSeg, grain, segSoftmaxArgs{x: x.Data, out: out.Data, sidx: sidx}, segSoftmaxFwdChunk)
+	par.ForCtx(nSeg, grain, segSoftmaxArgs[T]{x: x.Data, out: out.Data, sidx: sidx}, opsFor[T]().segSoftmaxFwdChunk)
 	return sidx
 }
 
-func segSoftmaxFwdChunk(a segSoftmaxArgs, lo, hi int) {
+func segSoftmaxFwdChunk[T Float](a segSoftmaxArgs[T], lo, hi int) {
 	for s := lo; s < hi; s++ {
 		rows := a.sidx.rows[a.sidx.off[s]:a.sidx.off[s+1]]
-		mx := math.Inf(-1)
+		mx := negInfT[T]()
 		for _, i := range rows {
 			if a.x[i] > mx {
 				mx = a.x[i]
 			}
 		}
-		var sum float64
+		var sum T
 		for _, i := range rows {
-			a.out[i] = math.Exp(a.x[i] - mx)
+			a.out[i] = expT(a.x[i] - mx)
 			sum += a.out[i]
 		}
 		for _, i := range rows {
@@ -324,10 +436,10 @@ func segSoftmaxFwdChunk(a segSoftmaxArgs, lo, hi int) {
 // segmentSoftmaxBackward accumulates the grouped-softmax gradient into ga:
 // ga_i += out_i * (g_i - sum_{j in seg(i)} g_j out_j). sidx may be the zero
 // segmentIndex; it is built on demand if the parallel path runs.
-func segmentSoftmaxBackward(tp *Tape, ga, out, g []float64, seg []int, nSeg int, sidx segmentIndex) {
+func segmentSoftmaxBackward[T Float](tp *TapeOf[T], ga, out, g []T, seg []int, nSeg int, sidx segmentIndex) {
 	grain := par.Grain(nSeg, segGrainMin)
 	if par.NumChunks(nSeg, grain) <= 1 {
-		dot := tp.arena.f64s.takeZeroed(nSeg)
+		dot := tp.arena.scalars.takeZeroed(nSeg)
 		for i, s := range seg {
 			dot[s] += g[i] * out[i]
 		}
@@ -339,13 +451,13 @@ func segmentSoftmaxBackward(tp *Tape, ga, out, g []float64, seg []int, nSeg int,
 	if sidx.off == nil {
 		sidx = buildSegmentIndex(tp, seg, nSeg)
 	}
-	par.ForCtx(nSeg, grain, segSoftmaxArgs{out: out, g: g, ga: ga, sidx: sidx}, segSoftmaxBackChunk)
+	par.ForCtx(nSeg, grain, segSoftmaxArgs[T]{out: out, g: g, ga: ga, sidx: sidx}, opsFor[T]().segSoftmaxBackChunk)
 }
 
-func segSoftmaxBackChunk(a segSoftmaxArgs, lo, hi int) {
+func segSoftmaxBackChunk[T Float](a segSoftmaxArgs[T], lo, hi int) {
 	for s := lo; s < hi; s++ {
 		rows := a.sidx.rows[a.sidx.off[s]:a.sidx.off[s+1]]
-		var dot float64
+		var dot T
 		for _, i := range rows {
 			dot += a.g[i] * a.out[i]
 		}

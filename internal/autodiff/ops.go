@@ -2,7 +2,6 @@ package autodiff
 
 import (
 	"fmt"
-	"math"
 
 	"sate/internal/par"
 )
@@ -14,7 +13,7 @@ import (
 // allocation once the arena is warm. Parallel chunks run through par.ForCtx
 // with static chunk functions for the same reason.
 
-func assertSameShape(op string, a, b *Tensor) {
+func assertSameShape[T Float](op string, a, b *TensorOf[T]) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("autodiff: %s shape mismatch %s vs %s", op, a.shape(), b.shape()))
 	}
@@ -26,17 +25,17 @@ func elemGrain(n int) int { return par.Grain(n, kernelFlopTarget) }
 // MatMul returns a @ b. Forward and backward are row-parallel (see
 // kernels.go); the backward pass writes disjoint gradient rows, so no merge
 // step is needed.
-func (tp *Tape) MatMul(a, b *Value) *Value {
+func (tp *TapeOf[T]) MatMul(a, b *ValueOf[T]) *ValueOf[T] {
 	if a.Val.Cols != b.Val.Rows {
 		panic(fmt.Sprintf("autodiff: matmul %s @ %s", a.Val.shape(), b.Val.shape()))
 	}
-	v := tp.newNode(a.Val.Rows, b.Val.Cols, matMulBack)
+	v := tp.newNodeStored(a.Val.Rows, b.Val.Cols, opsFor[T]().matMulBack)
 	v.src0, v.src1 = a, b
 	gemm(v.Val, a.Val, b.Val, false)
 	return v
 }
 
-func matMulBack(v *Value) {
+func matMulBack[T Float](v *ValueOf[T]) {
 	a, b := v.src0, v.src1
 	gemmBT(a.Grad, v.Grad, b.Val, true) // dA += dOut @ B^T
 	gemmAT(b.Grad, a.Val, v.Grad, true) // dB += A^T @ dOut
@@ -45,43 +44,43 @@ func matMulBack(v *Value) {
 // MatMulT returns a @ b^T (a: m x k, b: n x k -> m x n). It routes through
 // the same parallel kernels as MatMul: gemmBT forward (no transpose is
 // materialised), gemm/gemmAT backward.
-func (tp *Tape) MatMulT(a, b *Value) *Value {
+func (tp *TapeOf[T]) MatMulT(a, b *ValueOf[T]) *ValueOf[T] {
 	if a.Val.Cols != b.Val.Cols {
 		panic(fmt.Sprintf("autodiff: matmulT %s @ %sT", a.Val.shape(), b.Val.shape()))
 	}
-	v := tp.newNode(a.Val.Rows, b.Val.Rows, matMulTBack)
+	v := tp.newNodeStored(a.Val.Rows, b.Val.Rows, opsFor[T]().matMulTBack)
 	v.src0, v.src1 = a, b
 	gemmBT(v.Val, a.Val, b.Val, false)
 	return v
 }
 
-func matMulTBack(v *Value) {
+func matMulTBack[T Float](v *ValueOf[T]) {
 	a, b := v.src0, v.src1
 	gemm(a.Grad, v.Grad, b.Val, true)   // dA += dOut @ B
 	gemmAT(b.Grad, v.Grad, a.Val, true) // dB += dOut^T @ A
 }
 
 // Add returns a + b (same shape).
-func (tp *Tape) Add(a, b *Value) *Value {
+func (tp *TapeOf[T]) Add(a, b *ValueOf[T]) *ValueOf[T] {
 	assertSameShape("add", a.Val, b.Val)
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, addBack)
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().addBack)
 	v.src0, v.src1 = a, b
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, addFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().addFwdChunk)
 	return v
 }
 
-func addFwdChunk(v *Value, lo, hi int) {
+func addFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x, y := v.Val.Data, v.src0.Val.Data, v.src1.Val.Data
 	for i := lo; i < hi; i++ {
 		o[i] = x[i] + y[i]
 	}
 }
 
-func addBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, addBackChunk)
+func addBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().addBackChunk)
 }
 
-func addBackChunk(v *Value, lo, hi int) {
+func addBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, ga, gb := v.Grad.Data, v.src0.Grad.Data, v.src1.Grad.Data
 	for i := lo; i < hi; i++ {
 		ga[i] += g[i]
@@ -90,26 +89,26 @@ func addBackChunk(v *Value, lo, hi int) {
 }
 
 // Sub returns a - b.
-func (tp *Tape) Sub(a, b *Value) *Value {
+func (tp *TapeOf[T]) Sub(a, b *ValueOf[T]) *ValueOf[T] {
 	assertSameShape("sub", a.Val, b.Val)
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, subBack)
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().subBack)
 	v.src0, v.src1 = a, b
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, subFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().subFwdChunk)
 	return v
 }
 
-func subFwdChunk(v *Value, lo, hi int) {
+func subFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x, y := v.Val.Data, v.src0.Val.Data, v.src1.Val.Data
 	for i := lo; i < hi; i++ {
 		o[i] = x[i] - y[i]
 	}
 }
 
-func subBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, subBackChunk)
+func subBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().subBackChunk)
 }
 
-func subBackChunk(v *Value, lo, hi int) {
+func subBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, ga, gb := v.Grad.Data, v.src0.Grad.Data, v.src1.Grad.Data
 	for i := lo; i < hi; i++ {
 		ga[i] += g[i]
@@ -118,26 +117,26 @@ func subBackChunk(v *Value, lo, hi int) {
 }
 
 // Mul returns the elementwise product.
-func (tp *Tape) Mul(a, b *Value) *Value {
+func (tp *TapeOf[T]) Mul(a, b *ValueOf[T]) *ValueOf[T] {
 	assertSameShape("mul", a.Val, b.Val)
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, mulBack)
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().mulBack)
 	v.src0, v.src1 = a, b
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, mulFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().mulFwdChunk)
 	return v
 }
 
-func mulFwdChunk(v *Value, lo, hi int) {
+func mulFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x, y := v.Val.Data, v.src0.Val.Data, v.src1.Val.Data
 	for i := lo; i < hi; i++ {
 		o[i] = x[i] * y[i]
 	}
 }
 
-func mulBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, mulBackChunk)
+func mulBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().mulBackChunk)
 }
 
-func mulBackChunk(v *Value, lo, hi int) {
+func mulBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g := v.Grad.Data
 	x, y := v.src0.Val.Data, v.src1.Val.Data
 	ga, gb := v.src0.Grad.Data, v.src1.Grad.Data
@@ -148,25 +147,25 @@ func mulBackChunk(v *Value, lo, hi int) {
 }
 
 // Scale returns a * s for scalar s.
-func (tp *Tape) Scale(a *Value, s float64) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, scaleBack)
+func (tp *TapeOf[T]) Scale(a *ValueOf[T], s T) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().scaleBack)
 	v.src0, v.s0 = a, s
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, scaleFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().scaleFwdChunk)
 	return v
 }
 
-func scaleFwdChunk(v *Value, lo, hi int) {
+func scaleFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x, s := v.Val.Data, v.src0.Val.Data, v.s0
 	for i := lo; i < hi; i++ {
 		o[i] = x[i] * s
 	}
 }
 
-func scaleBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, scaleBackChunk)
+func scaleBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().scaleBackChunk)
 }
 
-func scaleBackChunk(v *Value, lo, hi int) {
+func scaleBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, ga, s := v.Grad.Data, v.src0.Grad.Data, v.s0
 	for i := lo; i < hi; i++ {
 		ga[i] += g[i] * s
@@ -174,17 +173,17 @@ func scaleBackChunk(v *Value, lo, hi int) {
 }
 
 // AddRowBroadcast returns a + b where b is 1 x cols, added to every row of a.
-func (tp *Tape) AddRowBroadcast(a, b *Value) *Value {
+func (tp *TapeOf[T]) AddRowBroadcast(a, b *ValueOf[T]) *ValueOf[T] {
 	if b.Val.Rows != 1 || b.Val.Cols != a.Val.Cols {
 		panic(fmt.Sprintf("autodiff: row broadcast %s + %s", a.Val.shape(), b.Val.shape()))
 	}
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, addRowBroadcastBack)
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().addRowBroadcastBack)
 	v.src0, v.src1 = a, b
-	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, addRowBroadcastFwdChunk)
+	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, opsFor[T]().addRowBroadcastFwdChunk)
 	return v
 }
 
-func addRowBroadcastFwdChunk(v *Value, lo, hi int) {
+func addRowBroadcastFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.Val.Cols
 	x, bias, o := v.src0.Val.Data, v.src1.Val.Data, v.Val.Data
 	for r := lo; r < hi; r++ {
@@ -196,7 +195,7 @@ func addRowBroadcastFwdChunk(v *Value, lo, hi int) {
 
 // addRowBroadcastBack is serial: the bias gradient accumulates across every
 // row, and the fixed row-major order is part of the determinism contract.
-func addRowBroadcastBack(v *Value) {
+func addRowBroadcastBack[T Float](v *ValueOf[T]) {
 	a, b := v.src0, v.src1
 	cols := a.Val.Cols
 	for r := 0; r < a.Val.Rows; r++ {
@@ -209,17 +208,17 @@ func addRowBroadcastBack(v *Value) {
 }
 
 // MulColBroadcast returns rows of a scaled by the column vector s (rows x 1).
-func (tp *Tape) MulColBroadcast(a, s *Value) *Value {
+func (tp *TapeOf[T]) MulColBroadcast(a, s *ValueOf[T]) *ValueOf[T] {
 	if s.Val.Cols != 1 || s.Val.Rows != a.Val.Rows {
 		panic(fmt.Sprintf("autodiff: col broadcast %s * %s", a.Val.shape(), s.Val.shape()))
 	}
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, mulColBroadcastBack)
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().mulColBroadcastBack)
 	v.src0, v.src1 = a, s
-	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, mulColBroadcastFwdChunk)
+	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, opsFor[T]().mulColBroadcastFwdChunk)
 	return v
 }
 
-func mulColBroadcastFwdChunk(v *Value, lo, hi int) {
+func mulColBroadcastFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.Val.Cols
 	x, s, o := v.src0.Val.Data, v.src1.Val.Data, v.Val.Data
 	for r := lo; r < hi; r++ {
@@ -230,17 +229,17 @@ func mulColBroadcastFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func mulColBroadcastBack(v *Value) {
+func mulColBroadcastBack[T Float](v *ValueOf[T]) {
 	// Row-parallel: chunk r owns row r of a.Grad and entry r of s.Grad.
-	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.Val.Cols), v, mulColBroadcastBackChunk)
+	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.Val.Cols), v, opsFor[T]().mulColBroadcastBkChunk)
 }
 
-func mulColBroadcastBackChunk(v *Value, lo, hi int) {
+func mulColBroadcastBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	a, s := v.src0, v.src1
 	cols := v.Val.Cols
 	for r := lo; r < hi; r++ {
 		f := s.Val.Data[r]
-		var dot float64
+		var dot T
 		for c := 0; c < cols; c++ {
 			g := v.Grad.Data[r*cols+c]
 			a.Grad.Data[r*cols+c] += g * f
@@ -251,14 +250,14 @@ func mulColBroadcastBackChunk(v *Value, lo, hi int) {
 }
 
 // LeakyReLU applies max(x, slope*x) elementwise.
-func (tp *Tape) LeakyReLU(a *Value, slope float64) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, leakyReLUBack)
+func (tp *TapeOf[T]) LeakyReLU(a *ValueOf[T], slope T) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().leakyReLUBack)
 	v.src0, v.s0 = a, slope
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, leakyReLUFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().leakyReLUFwdChunk)
 	return v
 }
 
-func leakyReLUFwdChunk(v *Value, lo, hi int) {
+func leakyReLUFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x, slope := v.Val.Data, v.src0.Val.Data, v.s0
 	for i := lo; i < hi; i++ {
 		if xv := x[i]; xv >= 0 {
@@ -269,11 +268,11 @@ func leakyReLUFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func leakyReLUBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, leakyReLUBackChunk)
+func leakyReLUBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().leakyReLUBackChunk)
 }
 
-func leakyReLUBackChunk(v *Value, lo, hi int) {
+func leakyReLUBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, x, ga, slope := v.Grad.Data, v.src0.Val.Data, v.src0.Grad.Data, v.s0
 	for i := lo; i < hi; i++ {
 		if x[i] >= 0 {
@@ -285,28 +284,28 @@ func leakyReLUBackChunk(v *Value, lo, hi int) {
 }
 
 // ReLU applies max(x, 0).
-func (tp *Tape) ReLU(a *Value) *Value { return tp.LeakyReLU(a, 0) }
+func (tp *TapeOf[T]) ReLU(a *ValueOf[T]) *ValueOf[T] { return tp.LeakyReLU(a, 0) }
 
 // Sigmoid applies 1/(1+exp(-x)) elementwise.
-func (tp *Tape) Sigmoid(a *Value) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, sigmoidBack)
+func (tp *TapeOf[T]) Sigmoid(a *ValueOf[T]) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().sigmoidBack)
 	v.src0 = a
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, sigmoidFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().sigmoidFwdChunk)
 	return v
 }
 
-func sigmoidFwdChunk(v *Value, lo, hi int) {
+func sigmoidFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x := v.Val.Data, v.src0.Val.Data
 	for i := lo; i < hi; i++ {
-		o[i] = 1 / (1 + math.Exp(-x[i]))
+		o[i] = 1 / (1 + expT(-x[i]))
 	}
 }
 
-func sigmoidBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, sigmoidBackChunk)
+func sigmoidBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().sigmoidBackChunk)
 }
 
-func sigmoidBackChunk(v *Value, lo, hi int) {
+func sigmoidBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, o, ga := v.Grad.Data, v.Val.Data, v.src0.Grad.Data
 	for i := lo; i < hi; i++ {
 		y := o[i]
@@ -315,25 +314,25 @@ func sigmoidBackChunk(v *Value, lo, hi int) {
 }
 
 // Tanh applies tanh elementwise.
-func (tp *Tape) Tanh(a *Value) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, tanhBack)
+func (tp *TapeOf[T]) Tanh(a *ValueOf[T]) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().tanhBack)
 	v.src0 = a
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, tanhFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().tanhFwdChunk)
 	return v
 }
 
-func tanhFwdChunk(v *Value, lo, hi int) {
+func tanhFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x := v.Val.Data, v.src0.Val.Data
 	for i := lo; i < hi; i++ {
-		o[i] = math.Tanh(x[i])
+		o[i] = tanhT(x[i])
 	}
 }
 
-func tanhBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, tanhBackChunk)
+func tanhBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().tanhBackChunk)
 }
 
-func tanhBackChunk(v *Value, lo, hi int) {
+func tanhBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, o, ga := v.Grad.Data, v.Val.Data, v.src0.Grad.Data
 	for i := lo; i < hi; i++ {
 		y := o[i]
@@ -342,25 +341,25 @@ func tanhBackChunk(v *Value, lo, hi int) {
 }
 
 // Exp applies exp elementwise.
-func (tp *Tape) Exp(a *Value) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, expBack)
+func (tp *TapeOf[T]) Exp(a *ValueOf[T]) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().expBack)
 	v.src0 = a
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, expFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().expFwdChunk)
 	return v
 }
 
-func expFwdChunk(v *Value, lo, hi int) {
+func expFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x := v.Val.Data, v.src0.Val.Data
 	for i := lo; i < hi; i++ {
-		o[i] = math.Exp(x[i])
+		o[i] = expT(x[i])
 	}
 }
 
-func expBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, expBackChunk)
+func expBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().expBackChunk)
 }
 
-func expBackChunk(v *Value, lo, hi int) {
+func expBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, o, ga := v.Grad.Data, v.Val.Data, v.src0.Grad.Data
 	for i := lo; i < hi; i++ {
 		ga[i] += g[i] * o[i]
@@ -368,25 +367,25 @@ func expBackChunk(v *Value, lo, hi int) {
 }
 
 // ClampMax applies min(x, c) elementwise (gradient 0 where clamped).
-func (tp *Tape) ClampMax(a *Value, c float64) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, clampMaxBack)
+func (tp *TapeOf[T]) ClampMax(a *ValueOf[T], c T) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().clampMaxBack)
 	v.src0, v.s0 = a, c
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, clampMaxFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().clampMaxFwdChunk)
 	return v
 }
 
-func clampMaxFwdChunk(v *Value, lo, hi int) {
+func clampMaxFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x, c := v.Val.Data, v.src0.Val.Data, v.s0
 	for i := lo; i < hi; i++ {
-		o[i] = math.Min(x[i], c)
+		o[i] = minT(x[i], c)
 	}
 }
 
-func clampMaxBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, clampMaxBackChunk)
+func clampMaxBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().clampMaxBackChunk)
 }
 
-func clampMaxBackChunk(v *Value, lo, hi int) {
+func clampMaxBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, x, ga, c := v.Grad.Data, v.src0.Val.Data, v.src0.Grad.Data, v.s0
 	for i := lo; i < hi; i++ {
 		if x[i] < c {
@@ -399,27 +398,27 @@ func clampMaxBackChunk(v *Value, lo, hi int) {
 // band: y = clamp(x) + slope*(x - clamp(x)). Unlike a hard clamp the
 // gradient never vanishes (slope outside, 1 inside), so downstream
 // saturating nonlinearities (e.g. sigmoid gates) can always recover.
-func (tp *Tape) SoftClamp(a *Value, lo, hi, slope float64) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, softClampBack)
+func (tp *TapeOf[T]) SoftClamp(a *ValueOf[T], lo, hi, slope T) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().softClampBack)
 	v.src0, v.s0, v.s1, v.s2 = a, lo, hi, slope
-	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, softClampFwdChunk)
+	par.ForCtx(len(v.Val.Data), elemGrain(len(v.Val.Data)), v, opsFor[T]().softClampFwdChunk)
 	return v
 }
 
-func softClampFwdChunk(v *Value, lo, hi int) {
+func softClampFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	o, x := v.Val.Data, v.src0.Val.Data
 	cl, ch, slope := v.s0, v.s1, v.s2
 	for i := lo; i < hi; i++ {
-		c := math.Max(cl, math.Min(ch, x[i]))
+		c := maxT(cl, minT(ch, x[i]))
 		o[i] = c + slope*(x[i]-c)
 	}
 }
 
-func softClampBack(v *Value) {
-	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, softClampBackChunk)
+func softClampBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.Grad.Data), elemGrain(len(v.Grad.Data)), v, opsFor[T]().softClampBackChunk)
 }
 
-func softClampBackChunk(v *Value, lo, hi int) {
+func softClampBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	g, x, ga := v.Grad.Data, v.src0.Val.Data, v.src0.Grad.Data
 	cl, ch, slope := v.s0, v.s1, v.s2
 	for i := lo; i < hi; i++ {
@@ -432,7 +431,7 @@ func softClampBackChunk(v *Value, lo, hi int) {
 }
 
 // Concat joins tensors along columns (same row count).
-func (tp *Tape) Concat(parts ...*Value) *Value {
+func (tp *TapeOf[T]) Concat(parts ...*ValueOf[T]) *ValueOf[T] {
 	rows := parts[0].Val.Rows
 	total := 0
 	for _, p := range parts {
@@ -441,15 +440,15 @@ func (tp *Tape) Concat(parts ...*Value) *Value {
 		}
 		total += p.Val.Cols
 	}
-	v := tp.newNode(rows, total, concatBack)
+	v := tp.newNodeStored(rows, total, opsFor[T]().concatBack)
 	v.srcs = tp.arena.vals.take(len(parts))
 	copy(v.srcs, parts)
 	// Row-parallel: each chunk copies whole output rows, all parts at once.
-	par.ForCtx(rows, rowGrain(rows, total), v, concatFwdChunk)
+	par.ForCtx(rows, rowGrain(rows, total), v, opsFor[T]().concatFwdChunk)
 	return v
 }
 
-func concatFwdChunk(v *Value, lo, hi int) {
+func concatFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	total := v.Val.Cols
 	for r := lo; r < hi; r++ {
 		off := 0
@@ -461,11 +460,11 @@ func concatFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func concatBack(v *Value) {
-	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.Val.Cols), v, concatBackChunk)
+func concatBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.Val.Cols), v, opsFor[T]().concatBackChunk)
 }
 
-func concatBackChunk(v *Value, lo, hi int) {
+func concatBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	total := v.Val.Cols
 	for r := lo; r < hi; r++ {
 		off := 0
@@ -480,15 +479,15 @@ func concatBackChunk(v *Value, lo, hi int) {
 }
 
 // Gather selects rows of a by index: out[i] = a[idx[i]].
-func (tp *Tape) Gather(a *Value, idx []int) *Value {
+func (tp *TapeOf[T]) Gather(a *ValueOf[T], idx []int) *ValueOf[T] {
 	cols := a.Val.Cols
-	v := tp.newNode(len(idx), cols, gatherBack)
+	v := tp.newNodeStored(len(idx), cols, opsFor[T]().gatherBack)
 	v.src0, v.idx = a, idx
-	par.ForCtx(len(idx), rowGrain(len(idx), cols), v, gatherFwdChunk)
+	par.ForCtx(len(idx), rowGrain(len(idx), cols), v, opsFor[T]().gatherFwdChunk)
 	return v
 }
 
-func gatherFwdChunk(v *Value, lo, hi int) {
+func gatherFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.Val.Cols
 	src := v.src0.Val.Data
 	for i := lo; i < hi; i++ {
@@ -497,7 +496,7 @@ func gatherFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func gatherBack(v *Value) {
+func gatherBack[T Float](v *ValueOf[T]) {
 	// idx may repeat rows, so the parallel backward scatter groups gather
 	// positions by source row: chunk r owns row r of a.Grad and folds its
 	// positions in increasing i — the serial sweep's order.
@@ -513,19 +512,19 @@ func gatherBack(v *Value) {
 		return
 	}
 	sidx := buildSegmentIndex(v.tape, idx, aRows)
-	par.ForCtx(aRows, grain, segScatterArgs{dst: a.Grad.Data, src: v.Grad.Data, cols: cols, sidx: sidx}, segScatterChunk)
+	par.ForCtx(aRows, grain, segScatterArgs[T]{dst: a.Grad.Data, src: v.Grad.Data, cols: cols, sidx: sidx}, opsFor[T]().segScatterChunk)
 }
 
 // segScatterArgs drives the grouped row-scatter kernel: destination row r
 // accumulates the source rows listed by sidx for segment r, in increasing
 // source order — the serial sweep's accumulation order.
-type segScatterArgs struct {
-	dst, src []float64
+type segScatterArgs[T Float] struct {
+	dst, src []T
 	cols     int
 	sidx     segmentIndex
 }
 
-func segScatterChunk(a segScatterArgs, lo, hi int) {
+func segScatterChunk[T Float](a segScatterArgs[T], lo, hi int) {
 	for r := lo; r < hi; r++ {
 		ro := a.dst[r*a.cols : (r+1)*a.cols]
 		for _, i := range a.sidx.rows[a.sidx.off[r]:a.sidx.off[r+1]] {
@@ -542,9 +541,9 @@ func segScatterChunk(a segScatterArgs, lo, hi int) {
 // owned by one chunk and gathers its source rows in increasing order, the
 // same accumulation order as the serial sweep. The backward pass is parallel
 // over the (disjoint) rows of a.Grad.
-func (tp *Tape) ScatterAddRows(a *Value, idx []int, outRows int) *Value {
+func (tp *TapeOf[T]) ScatterAddRows(a *ValueOf[T], idx []int, outRows int) *ValueOf[T] {
 	cols := a.Val.Cols
-	v := tp.newNode(outRows, cols, scatterAddRowsBack)
+	v := tp.newNode(outRows, cols, opsFor[T]().scatterAddRowsBack)
 	v.src0, v.idx = a, idx
 	if grain := par.Grain(outRows, segGrainMin); par.NumChunks(outRows, grain) <= 1 {
 		// One chunk: the linear source sweep beats the index indirection.
@@ -555,16 +554,16 @@ func (tp *Tape) ScatterAddRows(a *Value, idx []int, outRows int) *Value {
 		}
 	} else {
 		sidx := buildSegmentIndex(tp, idx, outRows)
-		par.ForCtx(outRows, grain, segScatterArgs{dst: v.Val.Data, src: a.Val.Data, cols: cols, sidx: sidx}, segScatterChunk)
+		par.ForCtx(outRows, grain, segScatterArgs[T]{dst: v.Val.Data, src: a.Val.Data, cols: cols, sidx: sidx}, opsFor[T]().segScatterChunk)
 	}
 	return v
 }
 
-func scatterAddRowsBack(v *Value) {
-	par.ForCtx(len(v.idx), par.Grain(len(v.idx), segGrainMin), v, scatterAddRowsBackChunk)
+func scatterAddRowsBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(len(v.idx), par.Grain(len(v.idx), segGrainMin), v, opsFor[T]().scatterAddRowsBkChunk)
 }
 
-func scatterAddRowsBackChunk(v *Value, lo, hi int) {
+func scatterAddRowsBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.Val.Cols
 	for i := lo; i < hi; i++ {
 		r := v.idx[i]
@@ -578,26 +577,26 @@ func scatterAddRowsBackChunk(v *Value, lo, hi int) {
 
 // SegmentSoftmax computes a softmax over groups of rows of a column vector:
 // rows i with equal seg[i] form one softmax group. a must be n x 1.
-func (tp *Tape) SegmentSoftmax(a *Value, seg []int, nSeg int) *Value {
+func (tp *TapeOf[T]) SegmentSoftmax(a *ValueOf[T], seg []int, nSeg int) *ValueOf[T] {
 	if a.Val.Cols != 1 || len(seg) != a.Val.Rows {
 		panic("autodiff: SegmentSoftmax requires an n x 1 input with n segment ids")
 	}
-	v := tp.newNode(a.Val.Rows, 1, segmentSoftmaxBack)
+	v := tp.newNodeStored(a.Val.Rows, 1, opsFor[T]().segmentSoftmaxBack)
 	v.src0, v.idx, v.n = a, seg, nSeg
 	v.sidx = segmentSoftmaxForward(tp, v.Val, a.Val, seg, nSeg)
 	return v
 }
 
-func segmentSoftmaxBack(v *Value) {
+func segmentSoftmaxBack[T Float](v *ValueOf[T]) {
 	segmentSoftmaxBackward(v.tape, v.src0.Grad.Data, v.Val.Data, v.Grad.Data, v.idx, v.n, v.sidx)
 }
 
 // SumAll reduces to a 1x1 scalar. The reduction is serial: one fixed
 // left-to-right fold, independent of worker count.
-func (tp *Tape) SumAll(a *Value) *Value {
-	v := tp.newNode(1, 1, sumAllBack)
+func (tp *TapeOf[T]) SumAll(a *ValueOf[T]) *ValueOf[T] {
+	v := tp.newNodeStored(1, 1, opsFor[T]().sumAllBack)
 	v.src0 = a
-	var s float64
+	var s T
 	for _, x := range a.Val.Data {
 		s += x
 	}
@@ -605,7 +604,7 @@ func (tp *Tape) SumAll(a *Value) *Value {
 	return v
 }
 
-func sumAllBack(v *Value) {
+func sumAllBack[T Float](v *ValueOf[T]) {
 	g := v.Grad.Data[0]
 	ga := v.src0.Grad.Data
 	for i := range ga {
@@ -614,24 +613,24 @@ func sumAllBack(v *Value) {
 }
 
 // MeanAll reduces to the scalar mean.
-func (tp *Tape) MeanAll(a *Value) *Value {
+func (tp *TapeOf[T]) MeanAll(a *ValueOf[T]) *ValueOf[T] {
 	n := float64(len(a.Val.Data))
-	return tp.Scale(tp.SumAll(a), 1/n)
+	return tp.Scale(tp.SumAll(a), T(1/n))
 }
 
 // SumRows reduces each row to one value (n x 1).
-func (tp *Tape) SumRows(a *Value) *Value {
-	v := tp.newNode(a.Val.Rows, 1, sumRowsBack)
+func (tp *TapeOf[T]) SumRows(a *ValueOf[T]) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, 1, opsFor[T]().sumRowsBack)
 	v.src0 = a
-	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, sumRowsFwdChunk)
+	par.ForCtx(a.Val.Rows, rowGrain(a.Val.Rows, a.Val.Cols), v, opsFor[T]().sumRowsFwdChunk)
 	return v
 }
 
-func sumRowsFwdChunk(v *Value, lo, hi int) {
+func sumRowsFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.src0.Val.Cols
 	x := v.src0.Val.Data
 	for r := lo; r < hi; r++ {
-		var s float64
+		var s T
 		for c := 0; c < cols; c++ {
 			s += x[r*cols+c]
 		}
@@ -639,11 +638,11 @@ func sumRowsFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func sumRowsBack(v *Value) {
-	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.src0.Val.Cols), v, sumRowsBackChunk)
+func sumRowsBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(v.Val.Rows, rowGrain(v.Val.Rows, v.src0.Val.Cols), v, opsFor[T]().sumRowsBackChunk)
 }
 
-func sumRowsBackChunk(v *Value, lo, hi int) {
+func sumRowsBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.src0.Val.Cols
 	ga := v.src0.Grad.Data
 	for r := lo; r < hi; r++ {
@@ -655,7 +654,7 @@ func sumRowsBackChunk(v *Value, lo, hi int) {
 }
 
 // MSE returns mean squared error between a and b as a scalar.
-func (tp *Tape) MSE(a, b *Value) *Value {
+func (tp *TapeOf[T]) MSE(a, b *ValueOf[T]) *ValueOf[T] {
 	d := tp.Sub(a, b)
 	return tp.MeanAll(tp.Mul(d, d))
 }
@@ -663,27 +662,27 @@ func (tp *Tape) MSE(a, b *Value) *Value {
 // RowSoftmax applies a numerically stable softmax along each row. Both
 // passes are row-parallel: rows are independent, so chunked execution is
 // bitwise identical to the serial loop.
-func (tp *Tape) RowSoftmax(a *Value) *Value {
-	v := tp.newNode(a.Val.Rows, a.Val.Cols, rowSoftmaxBack)
+func (tp *TapeOf[T]) RowSoftmax(a *ValueOf[T]) *ValueOf[T] {
+	v := tp.newNodeStored(a.Val.Rows, a.Val.Cols, opsFor[T]().rowSoftmaxBack)
 	v.src0 = a
-	par.ForCtx(a.Val.Rows, par.Grain(a.Val.Rows, segGrainMin), v, rowSoftmaxFwdChunk)
+	par.ForCtx(a.Val.Rows, par.Grain(a.Val.Rows, segGrainMin), v, opsFor[T]().rowSoftmaxFwdChunk)
 	return v
 }
 
-func rowSoftmaxFwdChunk(v *Value, lo, hi int) {
+func rowSoftmaxFwdChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.Val.Cols
 	for r := lo; r < hi; r++ {
 		ra := v.src0.Val.Data[r*cols : (r+1)*cols]
 		ro := v.Val.Data[r*cols : (r+1)*cols]
-		mx := math.Inf(-1)
+		mx := negInfT[T]()
 		for _, x := range ra {
 			if x > mx {
 				mx = x
 			}
 		}
-		var sum float64
+		var sum T
 		for i, x := range ra {
-			ro[i] = math.Exp(x - mx)
+			ro[i] = expT(x - mx)
 			sum += ro[i]
 		}
 		for i := range ro {
@@ -692,15 +691,15 @@ func rowSoftmaxFwdChunk(v *Value, lo, hi int) {
 	}
 }
 
-func rowSoftmaxBack(v *Value) {
-	par.ForCtx(v.Val.Rows, par.Grain(v.Val.Rows, segGrainMin), v, rowSoftmaxBackChunk)
+func rowSoftmaxBack[T Float](v *ValueOf[T]) {
+	par.ForCtx(v.Val.Rows, par.Grain(v.Val.Rows, segGrainMin), v, opsFor[T]().rowSoftmaxBackChunk)
 }
 
-func rowSoftmaxBackChunk(v *Value, lo, hi int) {
+func rowSoftmaxBackChunk[T Float](v *ValueOf[T], lo, hi int) {
 	cols := v.Val.Cols
 	for r := lo; r < hi; r++ {
 		ro := v.Val.Data[r*cols : (r+1)*cols]
-		var dot float64
+		var dot T
 		for i := 0; i < cols; i++ {
 			dot += v.Grad.Data[r*cols+i] * ro[i]
 		}

@@ -1,8 +1,15 @@
 // Package autodiff is a small reverse-mode automatic-differentiation engine
-// over dense float64 matrices, built for graph neural networks on CPU. It
-// provides the operations GAT-style message passing needs — matrix products,
-// row gather/scatter, per-segment softmax, broadcasts and pointwise
+// over dense matrices, built for graph neural networks on CPU. It provides
+// the operations GAT-style message passing needs — matrix products, row
+// gather/scatter, per-segment softmax, broadcasts and pointwise
 // nonlinearities — plus the Adam optimizer and numerical gradient checking.
+//
+// The whole stack is generic over the element type (Float: float32 or
+// float64). TensorOf[float64] is the reference path — bitwise-identical to
+// the pre-generic float64 engine — and the un-suffixed names (Tensor, Value,
+// Tape, Adam) are aliases for it, so float64 call sites read exactly as
+// before. TensorOf[float32] halves memory traffic for inference; training
+// stays float64.
 //
 // It stands in for the paper's GPU deep-learning framework (see DESIGN.md):
 // define-by-run eager execution, a tape in creation order, and reverse
@@ -16,42 +23,48 @@ import (
 	"math/rand"
 )
 
-// Tensor is a dense row-major matrix.
-type Tensor struct {
+// TensorOf is a dense row-major matrix over T.
+type TensorOf[T Float] struct {
 	Rows, Cols int
-	Data       []float64
+	Data       []T
 }
 
-// NewTensor allocates a zero matrix.
-func NewTensor(rows, cols int) *Tensor {
-	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+// Tensor is the float64 tensor — the reference dtype and the training dtype.
+type Tensor = TensorOf[float64]
+
+// NewTensor allocates a zero float64 matrix.
+func NewTensor(rows, cols int) *Tensor { return NewTensorOf[float64](rows, cols) }
+
+// NewTensorOf allocates a zero matrix of the given dtype.
+func NewTensorOf[T Float](rows, cols int) *TensorOf[T] {
+	return &TensorOf[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
 }
 
 // FromSlice wraps data (not copied) as a rows x cols tensor.
-func FromSlice(rows, cols int, data []float64) *Tensor {
+func FromSlice[T Float](rows, cols int, data []T) *TensorOf[T] {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("autodiff: %d values for %dx%d tensor", len(data), rows, cols))
 	}
-	return &Tensor{Rows: rows, Cols: cols, Data: data}
+	return &TensorOf[T]{Rows: rows, Cols: cols, Data: data}
 }
 
 // At returns element (r, c).
-func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+func (t *TensorOf[T]) At(r, c int) T { return t.Data[r*t.Cols+c] }
 
 // Set writes element (r, c).
-func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+func (t *TensorOf[T]) Set(r, c int, v T) { t.Data[r*t.Cols+c] = v }
 
 // Clone deep-copies the tensor into fresh heap storage. Hot paths that own a
 // destination should use CopyInto (or Tape.Zeros + copy) instead.
-func (t *Tensor) Clone() *Tensor {
-	out := NewTensor(t.Rows, t.Cols)
+func (t *TensorOf[T]) Clone() *TensorOf[T] {
+	out := NewTensorOf[T](t.Rows, t.Cols)
 	copy(out.Data, t.Data)
 	return out
 }
 
 // CopyInto copies t's contents into dst (shapes must match). It is the
 // allocation-free counterpart of Clone for arena-backed destinations.
-func (t *Tensor) CopyInto(dst *Tensor) {
+func (t *TensorOf[T]) CopyInto(dst *TensorOf[T]) {
 	if !t.SameShape(dst) {
 		panic(fmt.Sprintf("autodiff: CopyInto shape mismatch %s vs %s", t.shape(), dst.shape()))
 	}
@@ -59,67 +72,80 @@ func (t *Tensor) CopyInto(dst *Tensor) {
 }
 
 // Fill sets every element to v.
-func (t *Tensor) Fill(v float64) {
+func (t *TensorOf[T]) Fill(v T) {
 	for i := range t.Data {
 		t.Data[i] = v
 	}
 }
 
-// Randn fills the tensor with N(0, scale^2) samples.
-func (t *Tensor) Randn(rng *rand.Rand, scale float64) *Tensor {
+// Randn fills the tensor with N(0, scale^2) samples (drawn in float64,
+// rounded once to T).
+func (t *TensorOf[T]) Randn(rng *rand.Rand, scale float64) *TensorOf[T] {
 	for i := range t.Data {
-		t.Data[i] = rng.NormFloat64() * scale
+		t.Data[i] = T(rng.NormFloat64() * scale)
 	}
 	return t
 }
 
 // SameShape reports whether two tensors have identical dimensions.
-func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
+func (t *TensorOf[T]) SameShape(o *TensorOf[T]) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
 
-func (t *Tensor) shape() string { return fmt.Sprintf("%dx%d", t.Rows, t.Cols) }
+func (t *TensorOf[T]) shape() string { return fmt.Sprintf("%dx%d", t.Rows, t.Cols) }
 
-// Value is a node in the autodiff graph: a tensor plus (optionally) its
+// ValueOf is a node in the autodiff graph: a tensor plus (optionally) its
 // gradient and the state its backward function needs. Backward functions are
 // static (top-level) functions receiving the node, not closures — a closure
 // per op is a heap allocation per op, which would defeat the arena.
-type Value struct {
-	Val  *Tensor
-	Grad *Tensor
+type ValueOf[T Float] struct {
+	Val  *TensorOf[T]
+	Grad *TensorOf[T]
 
-	tape    *Tape
+	tape    *TapeOf[T]
 	isParam bool
 
 	// Backward state. Which fields an op uses is up to its back function;
 	// unused ones stay zero. Everything here is either arena-owned or
 	// caller-owned and borrowed for the duration of one pass.
-	back       func(v *Value)
-	src0       *Value
-	src1       *Value
-	src2       *Value
-	srcs       []*Value     // variadic inputs (Concat)
-	aux        *Tensor      // fused-op stash (pre-activation, attention weights)
-	idx        []int        // row indices / segment ids
-	idx2       []int        // second index set (GatherConcat)
-	sidx       segmentIndex // cached segment index for segment-parallel backward
-	n          int          // op-specific count (nSeg, part width, ...)
-	s0, s1, s2 float64      // op-specific scalars (slopes, clamp bounds, ...)
+	back       func(v *ValueOf[T])
+	src0       *ValueOf[T]
+	src1       *ValueOf[T]
+	src2       *ValueOf[T]
+	srcs       []*ValueOf[T] // variadic inputs (Concat)
+	aux        *TensorOf[T]  // fused-op stash (pre-activation, attention weights)
+	idx        []int         // row indices / segment ids
+	idx2       []int         // second index set (GatherConcat)
+	sidx       segmentIndex  // cached segment index for segment-parallel backward
+	n          int           // op-specific count (nSeg, part width, ...)
+	s0, s1, s2 T             // op-specific scalars (slopes, clamp bounds, ...)
 }
 
-// Tape records operations in creation order for reverse accumulation. All
+// Value is the float64 graph node.
+type Value = ValueOf[float64]
+
+// TapeOf records operations in creation order for reverse accumulation. All
 // node storage is drawn from the tape's arena; Reset recycles it.
-type Tape struct {
-	nodes  []*Value
+type TapeOf[T Float] struct {
+	nodes  []*ValueOf[T]
 	noGrad bool
-	arena  arena
+	arena  arena[T]
 }
 
-// NewTape creates an empty tape.
+// Tape is the float64 tape.
+type Tape = TapeOf[float64]
+
+// NewTape creates an empty float64 tape.
 func NewTape() *Tape { return &Tape{} }
 
-// NewInferenceTape creates a forward-only tape: no gradient buffers are
-// allocated and Backward panics. Use for pure inference — it roughly halves
-// allocation traffic, which dominates GNN forward cost on CPU.
+// NewTapeOf creates an empty tape of the given dtype.
+func NewTapeOf[T Float]() *TapeOf[T] { return &TapeOf[T]{} }
+
+// NewInferenceTape creates a forward-only float64 tape: no gradient buffers
+// are allocated and Backward panics. Use for pure inference — it roughly
+// halves allocation traffic, which dominates GNN forward cost on CPU.
 func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
+
+// NewInferenceTapeOf creates a forward-only tape of the given dtype.
+func NewInferenceTapeOf[T Float]() *TapeOf[T] { return &TapeOf[T]{noGrad: true} }
 
 // Reset discards recorded operations and recycles every tensor, node and
 // scratch slice of the previous pass back into the tape's arena (parameters
@@ -128,10 +154,13 @@ func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
 // are invalidated: the next pass reuses their storage. Prefer Reset over a
 // fresh NewTape in loops; after one warm-up pass the steady state allocates
 // nothing.
-func (tp *Tape) Reset() {
+func (tp *TapeOf[T]) Reset() {
 	tp.nodes = tp.nodes[:0]
 	tp.arena.reset()
 }
+
+// NoGrad reports whether this is a forward-only (inference) tape.
+func (tp *TapeOf[T]) NoGrad() bool { return tp.noGrad }
 
 // ArenaStats is a snapshot of the tape arena's recycling counters — the
 // live view of the memory model of DESIGN.md §8. In steady state TensorAlloc
@@ -149,7 +178,7 @@ type ArenaStats struct {
 // ArenaStats returns the tape's cumulative arena counters. Like the arena
 // itself it is meant to be read from the goroutine that issues ops —
 // typically between passes.
-func (tp *Tape) ArenaStats() ArenaStats {
+func (tp *TapeOf[T]) ArenaStats() ArenaStats {
 	return ArenaStats{
 		TensorReuse: tp.arena.reused,
 		TensorAlloc: tp.arena.allocated,
@@ -160,14 +189,14 @@ func (tp *Tape) ArenaStats() ArenaStats {
 // Zeros returns a zeroed rows x cols tensor owned by the tape's arena. It is
 // valid until the next Reset; use it for per-pass constants and feature
 // staging instead of NewTensor.
-func (tp *Tape) Zeros(rows, cols int) *Tensor {
+func (tp *TapeOf[T]) Zeros(rows, cols int) *TensorOf[T] {
 	return tp.arena.tensor(rows, cols)
 }
 
 // TensorFrom copies data into an arena-owned rows x cols tensor (valid until
 // the next Reset). It is the recycling counterpart of FromSlice for callers
 // that reuse their staging slice.
-func (tp *Tape) TensorFrom(rows, cols int, data []float64) *Tensor {
+func (tp *TapeOf[T]) TensorFrom(rows, cols int, data []T) *TensorOf[T] {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("autodiff: %d values for %dx%d tensor", len(data), rows, cols))
 	}
@@ -176,11 +205,29 @@ func (tp *Tape) TensorFrom(rows, cols int, data []float64) *Tensor {
 	return t
 }
 
+// TensorFromFloat64 stages float64 data (the repo's feature-vector dtype)
+// into an arena-owned tensor of the tape's dtype, rounding each element
+// once. For a float64 tape it is exactly TensorFrom.
+func (tp *TapeOf[T]) TensorFromFloat64(rows, cols int, data []float64) *TensorOf[T] {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("autodiff: %d values for %dx%d tensor", len(data), rows, cols))
+	}
+	t := tp.arena.tensor(rows, cols)
+	if dst, ok := any(t.Data).([]float64); ok {
+		copy(dst, data)
+		return t
+	}
+	for i, v := range data {
+		t.Data[i] = T(v)
+	}
+	return t
+}
+
 // newNode allocates a node with a zeroed rows x cols result tensor from the
 // arena. On gradient tapes it also gets a zeroed gradient buffer and is
 // recorded for reverse accumulation; on inference tapes back is dropped.
 // Ops fill in their backward state fields after the call.
-func (tp *Tape) newNode(rows, cols int, back func(*Value)) *Value {
+func (tp *TapeOf[T]) newNode(rows, cols int, back func(*ValueOf[T])) *ValueOf[T] {
 	v := tp.arena.value()
 	v.Val = tp.arena.tensor(rows, cols)
 	v.tape = tp
@@ -192,8 +239,24 @@ func (tp *Tape) newNode(rows, cols int, back func(*Value)) *Value {
 	return v
 }
 
+// newNodeStored is newNode for ops whose forward kernel stores every output
+// element before any read: the result tensor skips the recycled-storage
+// zeroing (a large share of inference memory traffic). Gradient buffers are
+// always zeroed — backward accumulates into them.
+func (tp *TapeOf[T]) newNodeStored(rows, cols int, back func(*ValueOf[T])) *ValueOf[T] {
+	v := tp.arena.value()
+	v.Val = tp.arena.tensorRaw(rows, cols)
+	v.tape = tp
+	if !tp.noGrad {
+		v.Grad = tp.arena.tensor(rows, cols)
+		v.back = back
+		tp.nodes = append(tp.nodes, v)
+	}
+	return v
+}
+
 // Const wraps a tensor as a leaf with no gradient flow out of it.
-func (tp *Tape) Const(t *Tensor) *Value {
+func (tp *TapeOf[T]) Const(t *TensorOf[T]) *ValueOf[T] {
 	v := tp.arena.value()
 	v.Val = t
 	v.tape = tp
@@ -206,12 +269,12 @@ func (tp *Tape) Const(t *Tensor) *Value {
 // Param wraps a tensor as a trainable parameter. Parameters live across tape
 // resets (their storage is never arena-owned); re-register them per forward
 // pass via Watch.
-func Param(t *Tensor) *Value {
-	return &Value{Val: t, Grad: NewTensor(t.Rows, t.Cols), isParam: true}
+func Param[T Float](t *TensorOf[T]) *ValueOf[T] {
+	return &ValueOf[T]{Val: t, Grad: NewTensorOf[T](t.Rows, t.Cols), isParam: true}
 }
 
 // Watch registers a parameter on the tape for this forward pass.
-func (tp *Tape) Watch(p *Value) *Value {
+func (tp *TapeOf[T]) Watch(p *ValueOf[T]) *ValueOf[T] {
 	if !p.isParam {
 		panic("autodiff: Watch on non-parameter")
 	}
@@ -220,7 +283,7 @@ func (tp *Tape) Watch(p *Value) *Value {
 }
 
 // Backward runs reverse accumulation from a scalar output (1x1 tensor).
-func (tp *Tape) Backward(out *Value) {
+func (tp *TapeOf[T]) Backward(out *ValueOf[T]) {
 	if tp.noGrad {
 		panic("autodiff: Backward on an inference tape")
 	}

@@ -153,6 +153,15 @@ func WithRegistry(r *obs.Registry) Option {
 	return func(s *Server) { s.registry = r }
 }
 
+// WithSolverOptions appends solve options passed on every cycle's Solve
+// call — e.g. solve.WithDtype(solve.Float32) for the low-precision
+// inference path, or solve.WithWarm(&core.CycleState{}) for cross-cycle
+// warm starts. Cycles are serialized on an internal mutex, so one warm
+// state attached here is never used by two solves at once.
+func WithSolverOptions(opts ...solve.Option) Option {
+	return func(s *Server) { s.solverOpts = append(s.solverOpts, opts...) }
+}
+
 // New creates a controller over a scenario with the given solver. The
 // variadic options keep pre-redesign `New(scen, solver)` call sites
 // compiling unchanged.
@@ -163,7 +172,7 @@ func New(scen *sim.Scenario, solver sim.Allocator, opts ...Option) *Server {
 	}
 	s.metrics = newSrvObs(s.registry)
 	if s.registry != nil {
-		s.solverOpts = []solve.Option{solve.WithRegistry(s.registry)}
+		s.solverOpts = append([]solve.Option{solve.WithRegistry(s.registry)}, s.solverOpts...)
 	}
 	return s
 }

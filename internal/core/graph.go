@@ -58,6 +58,25 @@ type TEGraph struct {
 	// between graph nodes and allocation variables x_fp.
 	VarFlow  []int
 	FlowVars [][]int
+
+	// allVars is the shared backing array the FlowVars slices point into,
+	// retained so BuildTEGraphInto can reuse it across cycles.
+	allVars []int
+
+	// Deduplicated views of the scalar R2/R3 edge features. The raw features
+	// have tiny cardinality (R2Feat is a position fraction i/(len-1), R3Feat a
+	// scaled candidate count), so the per-edge edge embedding Θe·e — by far
+	// the widest matmul of a forward pass — can be computed once per distinct
+	// value and gathered back per edge, bitwise identically. R2FeatU holds the
+	// distinct values in first-occurrence order and R2FeatIx[e] indexes edge
+	// e's value in it; likewise for R3.
+	R2FeatU  []float64
+	R2FeatIx []int
+	R3FeatU  []float64
+	R3FeatIx []int
+
+	// featSeen is the dedup scratch map, retained across rebuilds.
+	featSeen map[float64]int
 }
 
 // Feature scales keep raw inputs O(1) for the neural network. They are fixed
@@ -70,9 +89,38 @@ const (
 	featPathsScale    = 0.1   // ~10 candidate paths
 )
 
+// reuseInts returns s emptied with capacity for at least n elements,
+// reallocating only when the retained capacity is too small.
+func reuseInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]int, 0, n)
+}
+
+func reuseFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]float64, 0, n)
+}
+
 // BuildTEGraph extracts the reduced TE graph from a problem.
-func BuildTEGraph(p *te.Problem) *TEGraph {
-	g := &TEGraph{NumSats: p.NumNodes}
+func BuildTEGraph(p *te.Problem) *TEGraph { return BuildTEGraphInto(nil, p) }
+
+// BuildTEGraphInto extracts the reduced TE graph from a problem, rebuilding
+// into g's retained storage (g may be nil or a zero value). Across the
+// low-churn cycles of a replay loop the slices reach a high-water capacity
+// after a few cycles and graph construction stops allocating. The caller
+// owns g exclusively; the returned graph is g (or a fresh one when nil) and
+// aliases its storage, so it must not be retained past the next rebuild.
+func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
+	if g == nil {
+		g = &TEGraph{}
+	}
+	g.NumSats = p.NumNodes
+	g.NumPaths = 0
+	g.NumTraffic = 0
 
 	// Pre-size every slice exactly: a graph is built per Solve call, so
 	// incremental append growth would be steady-state garbage.
@@ -84,38 +132,45 @@ func BuildTEGraph(p *te.Problem) *TEGraph {
 		}
 		nPaths += len(p.Flows[fi].Paths)
 	}
-	g.R1 = gnn.EdgeList{Src: make([]int, 0, nR1), Dst: make([]int, 0, nR1)}
-	g.R1Feat = make([]float64, 0, nR1)
-	g.TrafficFeat = make([]float64, 0, len(p.Flows))
-	g.PathFeat = make([]float64, 0, nPaths)
-	g.VarFlow = make([]int, 0, nPaths)
-	g.FlowVars = make([][]int, 0, len(p.Flows))
-	g.R2 = gnn.EdgeList{Src: make([]int, 0, nR2), Dst: make([]int, 0, nR2)}
-	g.R2Feat = make([]float64, 0, nR2)
-	g.R3 = gnn.EdgeList{Src: make([]int, 0, nPaths), Dst: make([]int, 0, nPaths)}
-	g.R3Feat = make([]float64, 0, nPaths)
-	g.Access = gnn.EdgeList{Src: make([]int, 0, 2*len(p.Flows)), Dst: make([]int, 0, 2*len(p.Flows))}
-	g.AccessFeat = make([]float64, 0, 2*len(p.Flows))
+	g.R1 = gnn.EdgeList{Src: reuseInts(g.R1.Src, nR1), Dst: reuseInts(g.R1.Dst, nR1)}
+	g.R1Feat = reuseFloats(g.R1Feat, nR1)
+	g.TrafficFeat = reuseFloats(g.TrafficFeat, len(p.Flows))
+	g.PathFeat = reuseFloats(g.PathFeat, nPaths)
+	g.VarFlow = reuseInts(g.VarFlow, nPaths)
+	if cap(g.FlowVars) >= len(p.Flows) {
+		g.FlowVars = g.FlowVars[:0]
+	} else {
+		g.FlowVars = make([][]int, 0, len(p.Flows))
+	}
+	g.R2 = gnn.EdgeList{Src: reuseInts(g.R2.Src, nR2), Dst: reuseInts(g.R2.Dst, nR2)}
+	g.R2Feat = reuseFloats(g.R2Feat, nR2)
+	g.R3 = gnn.EdgeList{Src: reuseInts(g.R3.Src, nPaths), Dst: reuseInts(g.R3.Dst, nPaths)}
+	g.R3Feat = reuseFloats(g.R3Feat, nPaths)
+	g.Access = gnn.EdgeList{Src: reuseInts(g.Access.Src, 2*len(p.Flows)), Dst: reuseInts(g.Access.Dst, 2*len(p.Flows))}
+	g.AccessFeat = reuseFloats(g.AccessFeat, 2*len(p.Flows))
 	// Variable ids are assigned densely in flow order, so FlowVars is a
 	// contiguous slicing of 0..nPaths-1 — one shared backing array.
-	allVars := make([]int, nPaths)
+	allVars := reuseInts(g.allVars, nPaths)[:nPaths]
 	for i := range allVars {
 		allVars[i] = i
 	}
+	g.allVars = allVars
 
 	// R1: satellite interconnection, both directions, capacity feature.
-	deg := make([]float64, p.NumNodes)
+	// Degrees accumulate directly into SatFeat (exact small integers), then
+	// scale in place — same values as a separate degree pass.
+	g.SatFeat = reuseFloats(g.SatFeat, p.NumNodes)[:p.NumNodes]
+	clear(g.SatFeat)
 	for li, l := range p.Links {
 		a, b := int(l.A), int(l.B)
 		cap := p.LinkCap[li] * featCapacityScale
 		g.R1.Src = append(g.R1.Src, a, b)
 		g.R1.Dst = append(g.R1.Dst, b, a)
 		g.R1Feat = append(g.R1Feat, cap, cap)
-		deg[a]++
-		deg[b]++
+		g.SatFeat[a]++
+		g.SatFeat[b]++
 	}
-	g.SatFeat = make([]float64, p.NumNodes)
-	for i, d := range deg {
+	for i, d := range g.SatFeat {
 		g.SatFeat[i] = d * featDegreeScale
 	}
 
@@ -155,7 +210,32 @@ func BuildTEGraph(p *te.Problem) *TEGraph {
 		g.Access.Dst = append(g.Access.Dst, ti, ti)
 		g.AccessFeat = append(g.AccessFeat, f.DemandMbps*featDemandScale, f.DemandMbps*featDemandScale)
 	}
+	if g.featSeen == nil {
+		g.featSeen = make(map[float64]int)
+	}
+	g.R2FeatU, g.R2FeatIx = dedupFeat(g.featSeen, g.R2FeatU, g.R2FeatIx, g.R2Feat)
+	g.R3FeatU, g.R3FeatIx = dedupFeat(g.featSeen, g.R3FeatU, g.R3FeatIx, g.R3Feat)
 	return g
+}
+
+// dedupFeat rebuilds the (unique values, per-element index) view of feat into
+// the retained uniq/idx storage, using seen as scratch. Unique values keep
+// first-occurrence order so the view is deterministic for a given feature
+// sequence.
+func dedupFeat(seen map[float64]int, uniq []float64, idx []int, feat []float64) ([]float64, []int) {
+	clear(seen)
+	uniq = reuseFloats(uniq, len(feat))
+	idx = reuseInts(idx, len(feat))
+	for _, v := range feat {
+		u, ok := seen[v]
+		if !ok {
+			u = len(uniq)
+			seen[v] = u
+			uniq = append(uniq, v)
+		}
+		idx = append(idx, u)
+	}
+	return uniq, idx
 }
 
 // FullGraphRelations counts the relations of the unreduced heterogeneous

@@ -107,6 +107,7 @@ func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64, registry
 		}
 		mean := sum / float64(len(problems))
 		perEpoch = append(perEpoch, mean)
+		m.InvalidateWeightCaches()
 		to.epoch(tp, mean)
 	}
 	return perEpoch, nil
@@ -123,7 +124,10 @@ func (m *Model) SolveMLU(p *te.Problem, opts ...solve.Option) (*te.Allocation, e
 }
 
 // solveMLU is the MLU inference path shared by Solve (objective routing)
-// and the deprecated SolveMLU wrapper.
+// and the deprecated SolveMLU wrapper. It always computes in float64: the
+// MLU head is rarely latency-critical and a solve.Float32 request falls
+// back here silently (documented in DESIGN.md §11), as do warm-start
+// requests — both are throughput-path optimisations.
 func (m *Model) solveMLU(p *te.Problem, o solve.Options) (*te.Allocation, error) {
 	a := solve.Begin(o, "sate-mlu")
 	defer a.End()
@@ -134,7 +138,7 @@ func (m *Model) solveMLU(p *te.Problem, o solve.Options) (*te.Allocation, error)
 	if g.NumPaths == 0 {
 		return alloc, nil
 	}
-	tp := m.inferenceTape()
+	tp := getTape[float64](&m.tapes)
 	sp = o.Registry.StartSpan(obs.PhaseForward)
 	scores, _ := m.Forward(tp, g)
 	alpha := tp.SegmentSoftmax(scores, g.VarFlow, g.NumTraffic)
@@ -145,7 +149,7 @@ func (m *Model) solveMLU(p *te.Problem, o solve.Options) (*te.Allocation, error)
 			alloc.X[fi][pi] = alpha.Val.Data[j] * p.Flows[fi].DemandMbps
 		}
 	}
-	m.returnTape(tp)
+	putTape(&m.tapes, tp)
 	p.Trim(alloc)
 	sp.End()
 	return alloc, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"sate/internal/autodiff"
 	"sate/internal/gnn"
@@ -46,35 +47,56 @@ func DefaultConfig() Config {
 	}
 }
 
+// netOf holds the SaTE GNN weights (Fig. 7) at one element type and owns the
+// dtype-generic forward/allocate passes. Model embeds the float64
+// instantiation (training and default inference); the float32 instantiation
+// is a derived read-only copy built by convertNet for the low-precision
+// inference path.
+type netOf[T autodiff.Float] struct {
+	// Embedding-initialisation weight matrices (the W of Fig. 7's table):
+	// scalar feature x (1 x d) learnable row.
+	wNE1, wNE2, wNE3 *autodiff.ValueOf[T]
+	wEE1, wEE2, wEE3 *autodiff.ValueOf[T]
+
+	r1 *gnn.StackOf[T] // satellite <-> satellite
+	// R2: satellite and path embeddings updated concurrently per layer.
+	r2SatToPath []*gnn.GATLayerOf[T]
+	r2PathToSat []*gnn.GATLayerOf[T]
+	// R3: path and traffic embeddings refined together.
+	r3TrafficToPath []*gnn.GATLayerOf[T]
+	r3PathToTraffic []*gnn.GATLayerOf[T]
+	// Ablation-only redundant access relation (nil in the SaTE model).
+	accessSatToTraffic *gnn.GATLayerOf[T]
+	accessTrafficToSat *gnn.GATLayerOf[T]
+
+	decoder *gnn.MLPOf[T]
+
+	params []*autodiff.ValueOf[T]
+}
+
 // Model is the SaTE GNN (Fig. 7): three sequential attention modules over
 // R1, R2, R3 plus an MLP decoder producing the traffic allocation.
 type Model struct {
 	Cfg Config
 
-	// Embedding-initialisation weight matrices (the W of Fig. 7's table):
-	// scalar feature x (1 x d) learnable row.
-	wNE1, wNE2, wNE3 *autodiff.Value
-	wEE1, wEE2, wEE3 *autodiff.Value
+	netOf[float64]
 
-	r1 *gnn.Stack // satellite <-> satellite
-	// R2: satellite and path embeddings updated concurrently per layer.
-	r2SatToPath []*gnn.GATLayer
-	r2PathToSat []*gnn.GATLayer
-	// R3: path and traffic embeddings refined together.
-	r3TrafficToPath []*gnn.GATLayer
-	r3PathToTraffic []*gnn.GATLayer
-	// Ablation-only redundant access relation (nil in the SaTE model).
-	accessSatToTraffic *gnn.GATLayer
-	accessTrafficToSat *gnn.GATLayer
+	// tapes/tapes32 recycle inference tapes (per dtype) across Solve calls:
+	// after the first solve of a given problem size the arena is warm and a
+	// solve performs near-zero heap allocation (DESIGN.md §8). graphs does
+	// the same for cold (no warm-start state) solves' TE-graph storage.
+	tapes   sync.Pool
+	tapes32 sync.Pool
+	graphs  sync.Pool
 
-	decoder *gnn.MLP
+	// weightGen counts weight mutations (training epochs, loads). The
+	// float32 weight copy and warm-start R1 caches embed the generation, so
+	// they invalidate automatically when the float64 weights move.
+	weightGen atomic.Uint64
 
-	params []*autodiff.Value
-
-	// tapes recycles inference tapes across Solve/SolveMLU calls: after the
-	// first solve of a given problem size the arena is warm and a solve
-	// performs near-zero heap allocation (DESIGN.md §8).
-	tapes sync.Pool
+	f32mu  sync.Mutex
+	f32    *netOf[float32]
+	f32gen uint64
 }
 
 // NewModel builds a SaTE model.
@@ -154,53 +176,145 @@ func (m *Model) NumParams() int {
 	return n
 }
 
-// embed initialises an embedding matrix from a scalar feature column:
+// InvalidateWeightCaches must be called after mutating the float64 weights
+// directly (training and Load call it implicitly): it retires the cached
+// float32 weight copy and every warm-start embedding cache derived from the
+// previous weights.
+func (m *Model) InvalidateWeightCaches() { m.weightGen.Add(1) }
+
+// convParam32 copies a float64 parameter into a float32 one.
+func convParam32(v *autodiff.Value) *autodiff.ValueOf[float32] {
+	t := autodiff.NewTensorOf[float32](v.Val.Rows, v.Val.Cols)
+	for i, x := range v.Val.Data {
+		t.Data[i] = float32(x)
+	}
+	return autodiff.Param(t)
+}
+
+// convertNet builds the float32 inference copy of the trained weights. The
+// float32 net has no params slice — it is never trained or serialized.
+func convertNet(n *netOf[float64]) *netOf[float32] {
+	c := &netOf[float32]{
+		wNE1:    convParam32(n.wNE1),
+		wNE2:    convParam32(n.wNE2),
+		wNE3:    convParam32(n.wNE3),
+		wEE1:    convParam32(n.wEE1),
+		wEE2:    convParam32(n.wEE2),
+		wEE3:    convParam32(n.wEE3),
+		r1:      gnn.ConvertStack[float32](n.r1),
+		decoder: gnn.ConvertMLP[float32](n.decoder),
+	}
+	for i := range n.r2SatToPath {
+		c.r2SatToPath = append(c.r2SatToPath, gnn.ConvertGATLayer[float32](n.r2SatToPath[i]))
+		c.r2PathToSat = append(c.r2PathToSat, gnn.ConvertGATLayer[float32](n.r2PathToSat[i]))
+	}
+	for i := range n.r3TrafficToPath {
+		c.r3TrafficToPath = append(c.r3TrafficToPath, gnn.ConvertGATLayer[float32](n.r3TrafficToPath[i]))
+		c.r3PathToTraffic = append(c.r3PathToTraffic, gnn.ConvertGATLayer[float32](n.r3PathToTraffic[i]))
+	}
+	if n.accessSatToTraffic != nil {
+		c.accessSatToTraffic = gnn.ConvertGATLayer[float32](n.accessSatToTraffic)
+		c.accessTrafficToSat = gnn.ConvertGATLayer[float32](n.accessTrafficToSat)
+	}
+	return c
+}
+
+// float32Net returns the cached float32 weight copy, rebuilding it when the
+// float64 weights have moved since the last build.
+func (m *Model) float32Net() *netOf[float32] {
+	gen := m.weightGen.Load()
+	m.f32mu.Lock()
+	defer m.f32mu.Unlock()
+	if m.f32 == nil || m.f32gen != gen {
+		m.f32 = convertNet(&m.netOf)
+		m.f32gen = gen
+	}
+	return m.f32
+}
+
+// embedOf initialises an embedding matrix from a scalar feature column:
 // rows x 1 feature times 1 x d learnable weight (Fig. 7 table). The feature
 // column is staged in an arena tensor — no per-pass heap copy.
-func (m *Model) embed(tp *autodiff.Tape, feat []float64, w *autodiff.Value) *autodiff.Value {
+func embedOf[T autodiff.Float](tp *autodiff.TapeOf[T], feat []float64, w *autodiff.ValueOf[T]) *autodiff.ValueOf[T] {
 	tp.Watch(w)
-	col := tp.TensorFrom(len(feat), 1, feat)
+	col := tp.TensorFromFloat64(len(feat), 1, feat)
 	return tp.MatMul(tp.Const(col), w)
 }
 
-// Forward runs the three GNN modules and the decoder, returning the raw
+// forward runs the three GNN modules and the decoder, returning the raw
 // per-variable outputs: scores (for the per-flow softmax) and gates. Both
-// are NumPaths x 1.
-func (m *Model) Forward(tp *autodiff.Tape, g *TEGraph) (scores, gates *autodiff.Value) {
-	// Embedding initialisation (Fig. 7).
-	sat := m.embed(tp, g.SatFeat, m.wNE1)
-	path := m.embed(tp, g.PathFeat, m.wNE2)
-	trf := m.embed(tp, g.TrafficFeat, m.wNE3)
-	ee1 := m.embed(tp, g.R1Feat, m.wEE1)
-	ee2 := m.embed(tp, g.R2Feat, m.wEE2)
-	ee3 := m.embed(tp, g.R3Feat, m.wEE3)
+// are NumPaths x 1. A non-nil warm cache (inference tapes only) lets the
+// pass reuse the previous cycle's post-R1 satellite embeddings when the R1
+// inputs are bit-identical — R1 depends only on topology, which holds still
+// across most consecutive TE cycles.
+func (n *netOf[T]) forward(tp *autodiff.TapeOf[T], g *TEGraph, warm *r1Cache[T]) (scores, gates *autodiff.ValueOf[T]) {
+	// Embedding initialisation (Fig. 7). On inference tapes the R2/R3 edge
+	// embeddings use the deduplicated feature view: the scalar features have
+	// a few dozen distinct values across tens of thousands of edges, so the
+	// per-edge Θe·e projections inside each layer shrink from E rows to U
+	// rows (bitwise identically — see ForwardDedup). Training keeps the
+	// per-edge form so gradient accumulation order is unchanged.
+	path := embedOf(tp, g.PathFeat, n.wNE2)
+	trf := embedOf(tp, g.TrafficFeat, n.wNE3)
+	dedup := tp.NoGrad() && len(g.R2FeatIx) == len(g.R2Feat) && len(g.R3FeatIx) == len(g.R3Feat)
+	var ee2, ee3 *autodiff.ValueOf[T]
+	if dedup {
+		ee2 = embedOf(tp, g.R2FeatU, n.wEE2)
+		ee3 = embedOf(tp, g.R3FeatU, n.wEE3)
+	} else {
+		ee2 = embedOf(tp, g.R2Feat, n.wEE2)
+		ee3 = embedOf(tp, g.R3Feat, n.wEE3)
+	}
 
-	// Module 1: GNN for R1 — satellite embeddings.
-	sat = m.r1.Forward(tp, sat, ee1, g.R1)
+	// Module 1: GNN for R1 — satellite embeddings, or the warm-start replay
+	// of the previous cycle's output when topology (and weights) held still.
+	var sat *autodiff.ValueOf[T]
+	if warm != nil && tp.NoGrad() && warm.out != nil && warm.key == warm.want {
+		sat = tp.Const(tp.TensorFrom(warm.out.Rows, warm.out.Cols, warm.out.Data))
+	} else {
+		sat = embedOf(tp, g.SatFeat, n.wNE1)
+		ee1 := embedOf(tp, g.R1Feat, n.wEE1)
+		sat = n.r1.Forward(tp, sat, ee1, g.R1)
+		if warm != nil && tp.NoGrad() {
+			warm.store(sat.Val)
+		}
+	}
 
 	// Ablation-only: process the redundant access relation the way the full
 	// graph of Fig. 6 (a) requires — an extra message-passing module whose
 	// cost the reduction eliminates.
-	if m.accessSatToTraffic != nil && g.Access.Len() > 0 {
-		eeA := m.embed(tp, g.AccessFeat, m.wEE1)
-		newTrf := m.accessSatToTraffic.Forward(tp, trf, sat, eeA, g.Access)
-		newSat := m.accessTrafficToSat.Forward(tp, sat, trf, eeA, g.Access.Reverse())
+	if n.accessSatToTraffic != nil && g.Access.Len() > 0 {
+		eeA := embedOf(tp, g.AccessFeat, n.wEE1)
+		newTrf := n.accessSatToTraffic.Forward(tp, trf, sat, eeA, g.Access)
+		newSat := n.accessTrafficToSat.Forward(tp, sat, trf, eeA, g.Access.Reverse())
 		trf = tp.Add(newTrf, trf)
 		sat = tp.Add(newSat, sat)
 	}
 
 	// Module 2: GNN for R2 — satellite and path embeddings concurrently.
-	for i := range m.r2SatToPath {
-		newPath := m.r2SatToPath[i].Forward(tp, path, sat, ee2, g.R2)
-		newSat := m.r2PathToSat[i].Forward(tp, sat, path, ee2, g.R2.Reverse())
+	for i := range n.r2SatToPath {
+		var newPath, newSat *autodiff.ValueOf[T]
+		if dedup {
+			newPath = n.r2SatToPath[i].ForwardDedup(tp, path, sat, ee2, g.R2FeatIx, g.R2)
+			newSat = n.r2PathToSat[i].ForwardDedup(tp, sat, path, ee2, g.R2FeatIx, g.R2.Reverse())
+		} else {
+			newPath = n.r2SatToPath[i].Forward(tp, path, sat, ee2, g.R2)
+			newSat = n.r2PathToSat[i].Forward(tp, sat, path, ee2, g.R2.Reverse())
+		}
 		path = tp.Add(newPath, path) // residual
 		sat = tp.Add(newSat, sat)
 	}
 
 	// Module 3: GNN for R3 — path and traffic embeddings together.
-	for i := range m.r3TrafficToPath {
-		newPath := m.r3TrafficToPath[i].Forward(tp, path, trf, ee3, g.R3)
-		newTrf := m.r3PathToTraffic[i].Forward(tp, trf, path, ee3, g.R3.Reverse())
+	for i := range n.r3TrafficToPath {
+		var newPath, newTrf *autodiff.ValueOf[T]
+		if dedup {
+			newPath = n.r3TrafficToPath[i].ForwardDedup(tp, path, trf, ee3, g.R3FeatIx, g.R3)
+			newTrf = n.r3PathToTraffic[i].ForwardDedup(tp, trf, path, ee3, g.R3FeatIx, g.R3.Reverse())
+		} else {
+			newPath = n.r3TrafficToPath[i].Forward(tp, path, trf, ee3, g.R3)
+			newTrf = n.r3PathToTraffic[i].Forward(tp, trf, path, ee3, g.R3.Reverse())
+		}
 		path = tp.Add(newPath, path)
 		trf = tp.Add(newTrf, trf)
 	}
@@ -212,24 +326,29 @@ func (m *Model) Forward(tp *autodiff.Tape, g *TEGraph) (scores, gates *autodiff.
 		return zero, zero
 	}
 	trfPerVar := tp.Gather(trf, g.VarFlow)
-	dec := m.decoder.Forward(tp, tp.Concat(path, trfPerVar)) // NumPaths x 2
+	dec := n.decoder.Forward(tp, tp.Concat(path, trfPerVar)) // NumPaths x 2
 	return colSlice(tp, dec, 0), colSlice(tp, dec, 1)
 }
 
+// Forward runs the float64 model (training surface; no warm-start reuse).
+func (m *Model) Forward(tp *autodiff.Tape, g *TEGraph) (scores, gates *autodiff.Value) {
+	return m.forward(tp, g, nil)
+}
+
 // colSlice extracts one column of a two-column value as an n x 1 value.
-func colSlice(tp *autodiff.Tape, v *autodiff.Value, col int) *autodiff.Value {
+func colSlice[T autodiff.Float](tp *autodiff.TapeOf[T], v *autodiff.ValueOf[T], col int) *autodiff.ValueOf[T] {
 	// Multiply by a constant selector matrix (cols x 1).
 	sel := tp.Zeros(v.Val.Cols, 1)
 	sel.Set(col, 0, 1)
 	return tp.MatMul(v, tp.Const(sel))
 }
 
-// Allocate runs the model and converts scores/gates into an allocation:
+// allocate runs the model and converts scores/gates into an allocation:
 // x_fp = demand_f * sigmoid(gate_fp) * softmax_p(score_fp). The form makes
 // the demand constraint (2.e) hold by construction; link and access caps are
 // enforced afterwards by trimming (Sec. 3.3, correction step).
-func (m *Model) Allocate(tp *autodiff.Tape, g *TEGraph, p *te.Problem) *autodiff.Value {
-	scores, gates := m.Forward(tp, g)
+func (n *netOf[T]) allocate(tp *autodiff.TapeOf[T], g *TEGraph, p *te.Problem, warm *r1Cache[T]) *autodiff.ValueOf[T] {
+	scores, gates := n.forward(tp, g, warm)
 	if g.NumPaths == 0 {
 		return scores
 	}
@@ -241,30 +360,77 @@ func (m *Model) Allocate(tp *autodiff.Tape, g *TEGraph, p *te.Problem) *autodiff
 	mix := tp.Mul(alpha, gate)
 	demand := tp.Zeros(g.NumPaths, 1)
 	for j, fi := range g.VarFlow {
-		demand.Data[j] = p.Flows[fi].DemandMbps
+		demand.Data[j] = T(p.Flows[fi].DemandMbps)
 	}
 	return tp.Mul(mix, tp.Const(demand))
 }
 
-// inferenceTape checks a recycled inference tape out of the model's pool;
-// returnTape resets and returns it for the next solve.
-func (m *Model) inferenceTape() *autodiff.Tape {
-	if tp, ok := m.tapes.Get().(*autodiff.Tape); ok {
-		return tp
-	}
-	return autodiff.NewInferenceTape()
+// Allocate runs the float64 model end to end (training surface).
+func (m *Model) Allocate(tp *autodiff.Tape, g *TEGraph, p *te.Problem) *autodiff.Value {
+	return m.allocate(tp, g, p, nil)
 }
 
-func (m *Model) returnTape(tp *autodiff.Tape) {
+// getTape checks a recycled inference tape out of a per-dtype pool;
+// putTape resets and returns it for the next solve.
+func getTape[T autodiff.Float](pool *sync.Pool) *autodiff.TapeOf[T] {
+	if tp, ok := pool.Get().(*autodiff.TapeOf[T]); ok {
+		return tp
+	}
+	return autodiff.NewInferenceTapeOf[T]()
+}
+
+func putTape[T autodiff.Float](pool *sync.Pool, tp *autodiff.TapeOf[T]) {
 	tp.Reset()
-	m.tapes.Put(tp)
+	pool.Put(tp)
+}
+
+// solveThroughput is the dtype-generic throughput inference path: graph
+// construction (into warm storage when available), GNN inference, decoding,
+// and the feasibility correction.
+func solveThroughput[T autodiff.Float](m *Model, net *netOf[T], pool *sync.Pool, cs *CycleState, rc *r1Cache[T], p *te.Problem, o solve.Options, name string) (*te.Allocation, error) {
+	a := solve.Begin(o, name)
+	defer a.End()
+	sp := o.Registry.StartSpan(obs.PhaseGraphBuild)
+	var g *TEGraph
+	if cs != nil {
+		cs.g = BuildTEGraphInto(cs.g, p)
+		g = cs.g
+		rc.want = r1Key(g, m.weightGen.Load())
+	} else {
+		// Cold solves recycle graph storage through the model-level pool, so
+		// repeated solves of a given problem size stop allocating slices.
+		pg, _ := m.graphs.Get().(*TEGraph)
+		g = BuildTEGraphInto(pg, p)
+		defer m.graphs.Put(g)
+	}
+	sp.End()
+	tp := getTape[T](pool)
+	sp = o.Registry.StartSpan(obs.PhaseForward)
+	x := net.allocate(tp, g, p, rc)
+	sp.End()
+	sp = o.Registry.StartSpan(obs.PhaseDecode)
+	alloc := te.NewAllocation(p)
+	xd := x.Val.Data
+	for fi, vars := range g.FlowVars {
+		for pi, j := range vars { // variables were appended in path order
+			alloc.X[fi][pi] = autodiff.ToFloat64(xd[j])
+		}
+	}
+	putTape(pool, tp)
+	p.Trim(alloc)
+	sp.End()
+	return alloc, nil
 }
 
 // Solve implements the baselines.Solver interface: graph construction,
 // GNN inference, decoding, and the feasibility correction. Options select
 // the objective (solve.MLU routes to the MLU head, equivalent to SolveMLU),
-// attach an obs registry (per-solve latency under solver="sate" plus
-// graph-build/forward/decode phase spans), or override the worker budget.
+// the element type (solve.Float32 runs inference on the cached float32
+// weight copy; MLU ignores the request and stays float64), attach an obs
+// registry (per-solve latency under solver="sate", or "sate-f32" for the
+// float32 path, plus graph-build/forward/decode phase spans), override the
+// worker budget, or attach warm-start state (solve.WithWarm(core.CycleState)
+// — reused graph storage plus cached R1 embeddings across cycles).
 // Instrumentation adds zero heap allocations to the warm solve path
 // (TestSolveObsAddsZeroAllocs).
 func (m *Model) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
@@ -272,26 +438,19 @@ func (m *Model) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, erro
 	if o.Objective == solve.MLU {
 		return m.solveMLU(p, o)
 	}
-	a := solve.Begin(o, "sate")
-	defer a.End()
-	sp := o.Registry.StartSpan(obs.PhaseGraphBuild)
-	g := BuildTEGraph(p)
-	sp.End()
-	tp := m.inferenceTape()
-	sp = o.Registry.StartSpan(obs.PhaseForward)
-	x := m.Allocate(tp, g, p)
-	sp.End()
-	sp = o.Registry.StartSpan(obs.PhaseDecode)
-	alloc := te.NewAllocation(p)
-	for fi, vars := range g.FlowVars {
-		for pi, j := range vars { // variables were appended in path order
-			alloc.X[fi][pi] = x.Val.Data[j]
+	cs := m.claimWarm(o.Warm)
+	if o.Dtype == solve.Float32 {
+		var rc *r1Cache[float32]
+		if cs != nil {
+			rc = &cs.r1f32
 		}
+		return solveThroughput(m, m.float32Net(), &m.tapes32, cs, rc, p, o, "sate-f32")
 	}
-	m.returnTape(tp)
-	p.Trim(alloc)
-	sp.End()
-	return alloc, nil
+	var rc *r1Cache[float64]
+	if cs != nil {
+		rc = &cs.r1f64
+	}
+	return solveThroughput(m, &m.netOf, &m.tapes, cs, rc, p, o, "sate")
 }
 
 // Name implements the baselines.Solver interface.

@@ -50,6 +50,7 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		copy(p.Val.Data, f.Data[i])
 	}
+	m.InvalidateWeightCaches()
 	return m, nil
 }
 

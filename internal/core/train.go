@@ -281,6 +281,7 @@ func Train(m *Model, samples []*Sample, cfg TrainConfig) (*TrainResult, error) {
 		mean := sum / float64(len(samples))
 		res.Losses = append(res.Losses, mean)
 		res.FinalLoss = mean
+		m.InvalidateWeightCaches()
 		to.epoch(tp, mean)
 		if cfg.Log != nil {
 			cfg.Log(ep, mean)

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+
+	"sate/internal/autodiff"
+)
+
+// CycleState is SaTE's cross-cycle warm-start state, passed to Solve with
+// solve.WithWarm. One value is owned by one replay loop (e.g. a controller's
+// recompute loop) and must not be shared across concurrent solves.
+//
+// It carries two kinds of temporal-coherence reuse:
+//
+//   - Graph storage: BuildTEGraphInto rebuilds the TE graph into the
+//     previous cycle's slices, so steady-state graph construction allocates
+//     only when the problem outgrows every earlier cycle.
+//   - R1 embedding cache: the post-R1 satellite embeddings depend only on
+//     the topology-derived inputs (SatFeat, R1, R1Feat) and the weights.
+//     When those are bit-identical to the cached cycle's — the common case,
+//     since topology holds still for seconds while traffic changes every
+//     cycle — the R1 module is skipped and the cached output replayed.
+//     Reuse is keyed on a fingerprint of the exact input bits plus the
+//     model's weight generation, so a warm solve is bitwise identical to a
+//     cold one.
+//
+// The zero value is ready to use. A CycleState binds to the first model
+// that solves with it; other models ignore it.
+type CycleState struct {
+	model *Model
+	g     *TEGraph
+
+	r1f64 r1Cache[float64]
+	r1f32 r1Cache[float32]
+}
+
+// r1Cache holds one dtype's cached post-R1 satellite embeddings. want is the
+// fingerprint of the current cycle's R1 inputs (set by the solve entry
+// before the forward pass); key is the fingerprint the cached out tensor was
+// computed from.
+type r1Cache[T autodiff.Float] struct {
+	want uint64
+	key  uint64
+	out  *autodiff.TensorOf[T]
+}
+
+// store retains a copy of the post-R1 embeddings for the next cycle,
+// reusing the previous cycle's buffer when shapes match.
+func (c *r1Cache[T]) store(sat *autodiff.TensorOf[T]) {
+	if c.out == nil || !c.out.SameShape(sat) {
+		c.out = sat.Clone()
+	} else {
+		sat.CopyInto(c.out)
+	}
+	c.key = c.want
+}
+
+// claimWarm resolves the Warm option to this model's CycleState: nil when
+// absent, of a foreign type, or already bound to a different model.
+func (m *Model) claimWarm(w any) *CycleState {
+	cs, ok := w.(*CycleState)
+	if !ok || cs == nil {
+		return nil
+	}
+	if cs.model == nil {
+		cs.model = m
+	}
+	if cs.model != m {
+		return nil
+	}
+	return cs
+}
+
+// r1Key fingerprints the exact inputs of the R1 module: the R1 edge list,
+// its capacity features, the satellite degree features, and the weight
+// generation. Equal keys mean bit-identical R1 inputs, so the cached output
+// is bit-identical to recomputing (the mixer is the 64-bit FNV-1a prime over
+// whole words; a collision across consecutive cycles is negligible, the same
+// standard topology fingerprints are held to).
+func r1Key(g *TEGraph, weightGen uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h = (h ^ x) * prime64
+	}
+	mix(weightGen)
+	mix(uint64(g.NumSats))
+	mix(uint64(len(g.R1.Src)))
+	for _, s := range g.R1.Src {
+		mix(uint64(s))
+	}
+	for _, d := range g.R1.Dst {
+		mix(uint64(d))
+	}
+	for _, f := range g.R1Feat {
+		mix(math.Float64bits(f))
+	}
+	for _, f := range g.SatFeat {
+		mix(math.Float64bits(f))
+	}
+	return h
+}

@@ -3,6 +3,11 @@
 // softmax over incoming edges, bipartite-relation support (the R2/R3
 // relations connect different node types), residual stacks, and a small MLP
 // for the decoder.
+//
+// Layers are generic over the autodiff element type. Training is
+// float64-only (constructors return the float64 instantiation); the float32
+// instantiations are produced by the Convert* functions, which copy trained
+// float64 weights into narrower parameters for the inference fast path.
 package gnn
 
 import (
@@ -26,14 +31,14 @@ func (e EdgeList) Len() int { return len(e.Src) }
 // other side of a bipartite relation).
 func (e EdgeList) Reverse() EdgeList { return EdgeList{Src: e.Dst, Dst: e.Src} }
 
-// GATLayer is one multi-head graph-attention layer following Eq. (6)/(7):
+// GATLayerOf is one multi-head graph-attention layer following Eq. (6)/(7):
 //
 //	v'_i = LeakyReLU( Θs·v_i + ‖_k Σ_{j∈r(i)} α^k_{j,i} (Θn^k·v_j + Θe^k·e_{j,i}) )
 //	α^k_{j,i} = softmax_i( LeakyReLU( a^T [Θd^k·v_i ‖ Θn^k·v_j ‖ Θe^k·e_{j,i}] ) )
 //
 // Destination and source nodes may be different types (bipartite relations),
 // hence separate Θd/Θn input dimensions. Output dimension is Heads*HeadDim.
-type GATLayer struct {
+type GATLayerOf[T autodiff.Float] struct {
 	InDst, InSrc, InEdge int
 	Heads, HeadDim       int
 	Slope                float64 // LeakyReLU slope
@@ -41,13 +46,16 @@ type GATLayer struct {
 	// 1/deg (mean aggregation). Used by the attention ablation.
 	Uniform bool
 
-	thetaS     *autodiff.Value   // InDst x Heads*HeadDim
-	thetaDst   []*autodiff.Value // per head: InDst x HeadDim (attention query)
-	thetaSrc   []*autodiff.Value // per head: InSrc x HeadDim (message + key)
-	thetaEdge  []*autodiff.Value // per head: InEdge x HeadDim
-	attnVector []*autodiff.Value // per head: 3*HeadDim x 1
-	params     []*autodiff.Value // cached Params() result (Forward is hot)
+	thetaS     *autodiff.ValueOf[T]   // InDst x Heads*HeadDim
+	thetaDst   []*autodiff.ValueOf[T] // per head: InDst x HeadDim (attention query)
+	thetaSrc   []*autodiff.ValueOf[T] // per head: InSrc x HeadDim (message + key)
+	thetaEdge  []*autodiff.ValueOf[T] // per head: InEdge x HeadDim
+	attnVector []*autodiff.ValueOf[T] // per head: 3*HeadDim x 1
+	params     []*autodiff.ValueOf[T] // cached Params() result (Forward is hot)
 }
+
+// GATLayer is the float64 (training) layer.
+type GATLayer = GATLayerOf[float64]
 
 // NewGATLayer creates a layer with Xavier-style initialisation.
 func NewGATLayer(rng *rand.Rand, inDst, inSrc, inEdge, heads, headDim int) *GATLayer {
@@ -65,43 +73,105 @@ func NewGATLayer(rng *rand.Rand, inDst, inSrc, inEdge, heads, headDim int) *GATL
 		l.thetaEdge = append(l.thetaEdge, mk(inEdge, headDim))
 		l.attnVector = append(l.attnVector, mk(3*headDim, 1))
 	}
+	l.cacheParams()
+	return l
+}
+
+func (l *GATLayerOf[T]) cacheParams() {
+	l.params = l.params[:0]
 	l.params = append(l.params, l.thetaS)
 	l.params = append(l.params, l.thetaDst...)
 	l.params = append(l.params, l.thetaSrc...)
 	l.params = append(l.params, l.thetaEdge...)
 	l.params = append(l.params, l.attnVector...)
-	return l
+}
+
+// convParam copies a trained float64 parameter into a fresh parameter of
+// element type T (an elementwise conversion; exact for T = float64).
+func convParam[T autodiff.Float](v *autodiff.Value) *autodiff.ValueOf[T] {
+	t := autodiff.NewTensorOf[T](v.Val.Rows, v.Val.Cols)
+	for i, x := range v.Val.Data {
+		t.Data[i] = T(x)
+	}
+	return autodiff.Param(t)
+}
+
+func convParams[T autodiff.Float](vs []*autodiff.Value) []*autodiff.ValueOf[T] {
+	out := make([]*autodiff.ValueOf[T], len(vs))
+	for i, v := range vs {
+		out[i] = convParam[T](v)
+	}
+	return out
+}
+
+// ConvertGATLayer copies a trained float64 layer's weights into a layer of
+// element type T for inference. The returned layer shares no storage with l.
+func ConvertGATLayer[T autodiff.Float](l *GATLayer) *GATLayerOf[T] {
+	c := &GATLayerOf[T]{
+		InDst: l.InDst, InSrc: l.InSrc, InEdge: l.InEdge,
+		Heads: l.Heads, HeadDim: l.HeadDim, Slope: l.Slope, Uniform: l.Uniform,
+		thetaS:     convParam[T](l.thetaS),
+		thetaDst:   convParams[T](l.thetaDst),
+		thetaSrc:   convParams[T](l.thetaSrc),
+		thetaEdge:  convParams[T](l.thetaEdge),
+		attnVector: convParams[T](l.attnVector),
+	}
+	c.cacheParams()
+	return c
 }
 
 // OutDim returns the layer's output embedding width.
-func (l *GATLayer) OutDim() int { return l.Heads * l.HeadDim }
+func (l *GATLayerOf[T]) OutDim() int { return l.Heads * l.HeadDim }
 
 // Params returns the trainable parameters. The slice is cached — callers
 // must not mutate it.
-func (l *GATLayer) Params() []*autodiff.Value { return l.params }
+func (l *GATLayerOf[T]) Params() []*autodiff.ValueOf[T] { return l.params }
 
 // Forward computes updated destination-node embeddings. vDst is nDst x InDst,
 // vSrc is nSrc x InSrc, eFeat is E x InEdge (one row per edge, aligned with
 // rel). Nodes with no incoming edges receive only the Θs·v self term.
-func (l *GATLayer) Forward(tp *autodiff.Tape, vDst, vSrc, eFeat *autodiff.Value, rel EdgeList) *autodiff.Value {
+func (l *GATLayerOf[T]) Forward(tp *autodiff.TapeOf[T], vDst, vSrc, eFeat *autodiff.ValueOf[T], rel EdgeList) *autodiff.ValueOf[T] {
+	return l.forward(tp, vDst, vSrc, eFeat, nil, rel)
+}
+
+// ForwardDedup is Forward for relations whose per-edge features repeat:
+// eFeatU holds only the distinct feature rows and eIdx[e] selects edge e's
+// row in it. The edge projection Θe·e runs once per distinct row and is
+// gathered back per edge — bitwise identical to Forward on the expanded
+// features, since a gemm output row depends only on its own input row and
+// Gather copies bits. Inference tapes only: on a gradient tape the edge
+// gradient would accumulate in a different order than the composed graph,
+// breaking training bit-reproducibility.
+func (l *GATLayerOf[T]) ForwardDedup(tp *autodiff.TapeOf[T], vDst, vSrc, eFeatU *autodiff.ValueOf[T], eIdx []int, rel EdgeList) *autodiff.ValueOf[T] {
+	if !tp.NoGrad() {
+		panic("gnn: ForwardDedup on a gradient tape")
+	}
+	return l.forward(tp, vDst, vSrc, eFeatU, eIdx, rel)
+}
+
+func (l *GATLayerOf[T]) forward(tp *autodiff.TapeOf[T], vDst, vSrc, eFeat *autodiff.ValueOf[T], eIdx []int, rel EdgeList) *autodiff.ValueOf[T] {
 	for _, p := range l.Params() {
 		tp.Watch(p)
 	}
 	nDst := vDst.Val.Rows
 	self := tp.MatMul(vDst, l.thetaS)
+	slope := T(l.Slope)
 
 	// headsBuf keeps the per-head slice off the heap for realistic head
 	// counts (Forward runs once per layer per step — zero-alloc steady state).
-	var headsBuf [8]*autodiff.Value
+	var headsBuf [8]*autodiff.ValueOf[T]
 	heads := headsBuf[:0]
 	for k := 0; k < l.Heads; k++ {
 		hDst := tp.MatMul(vDst, l.thetaDst[k]) // nDst x dh
 		hSrc := tp.MatMul(vSrc, l.thetaSrc[k]) // nSrc x dh
-		hE := tp.MatMul(eFeat, l.thetaEdge[k]) // E x dh
+		hE := tp.MatMul(eFeat, l.thetaEdge[k]) // E x dh (U x dh when deduped)
+		if eIdx != nil {
+			hE = tp.Gather(hE, eIdx) // expand back to E x dh
+		}
 
 		gSrc := tp.Gather(hSrc, rel.Src) // E x dh
 
-		var score *autodiff.Value
+		var score *autodiff.ValueOf[T]
 		if l.Uniform {
 			// Mean aggregation: softmax over zero scores is uniform.
 			score = tp.Const(tp.Zeros(rel.Len(), 1))
@@ -111,28 +181,31 @@ func (l *GATLayer) Forward(tp *autodiff.Tape, vDst, vSrc, eFeat *autodiff.Value,
 			// gradient accumulates once, as in the composed graph.
 			cat := tp.GatherConcat(hDst, rel.Dst, gSrc, nil, hE) // E x 3dh
 			score = tp.MatMul(cat, l.attnVector[k])              // E x 1
-			score = tp.LeakyReLU(score, l.Slope)                 // Eq. (7)
+			score = tp.LeakyReLU(score, slope)                   // Eq. (7)
 		}
 		msg := tp.Add(gSrc, hE) // E x dh
 		// Fused segment-softmax → weighted scatter (Eq. 6 aggregation).
 		agg := tp.SegmentAttention(score, msg, rel.Dst, nDst) // nDst x dh
 		heads = append(heads, agg)
 	}
-	var aggAll *autodiff.Value
+	var aggAll *autodiff.ValueOf[T]
 	if len(heads) == 1 {
 		aggAll = heads[0]
 	} else {
 		aggAll = tp.Concat(heads...)
 	}
-	return tp.LeakyReLU(tp.Add(self, aggAll), l.Slope)
+	return tp.LeakyReLU(tp.Add(self, aggAll), slope)
 }
 
-// Stack is a residual stack of GAT layers over one relation: each layer's
+// StackOf is a residual stack of GAT layers over one relation: each layer's
 // output feeds the next, with identity residuals where dimensions match
 // (Appendix B: residual connections mitigate over-smoothing).
-type Stack struct {
-	Layers []*GATLayer
+type StackOf[T autodiff.Float] struct {
+	Layers []*GATLayerOf[T]
 }
+
+// Stack is the float64 (training) stack.
+type Stack = StackOf[float64]
 
 // NewStack builds depth layers of identical dimensions (dim -> dim) over a
 // same-type relation.
@@ -147,9 +220,18 @@ func NewStack(rng *rand.Rand, depth, dim, edgeDim, heads int) *Stack {
 	return s
 }
 
+// ConvertStack copies a trained float64 stack into element type T.
+func ConvertStack[T autodiff.Float](s *Stack) *StackOf[T] {
+	c := &StackOf[T]{}
+	for _, l := range s.Layers {
+		c.Layers = append(c.Layers, ConvertGATLayer[T](l))
+	}
+	return c
+}
+
 // Params returns all trainable parameters of the stack.
-func (s *Stack) Params() []*autodiff.Value {
-	var out []*autodiff.Value
+func (s *StackOf[T]) Params() []*autodiff.ValueOf[T] {
+	var out []*autodiff.ValueOf[T]
 	for _, l := range s.Layers {
 		out = append(out, l.Params()...)
 	}
@@ -158,7 +240,7 @@ func (s *Stack) Params() []*autodiff.Value {
 
 // Forward runs the stack on a homogeneous relation (src and dst are the same
 // node set).
-func (s *Stack) Forward(tp *autodiff.Tape, v, eFeat *autodiff.Value, rel EdgeList) *autodiff.Value {
+func (s *StackOf[T]) Forward(tp *autodiff.TapeOf[T], v, eFeat *autodiff.ValueOf[T], rel EdgeList) *autodiff.ValueOf[T] {
 	h := v
 	for _, l := range s.Layers {
 		out := l.Forward(tp, h, h, eFeat, rel)
@@ -170,12 +252,15 @@ func (s *Stack) Forward(tp *autodiff.Tape, v, eFeat *autodiff.Value, rel EdgeLis
 	return h
 }
 
-// MLP is a small fully connected network used as the allocation decoder.
-type MLP struct {
-	weights []*autodiff.Value
-	biases  []*autodiff.Value
+// MLPOf is a small fully connected network used as the allocation decoder.
+type MLPOf[T autodiff.Float] struct {
+	weights []*autodiff.ValueOf[T]
+	biases  []*autodiff.ValueOf[T]
 	Slope   float64
 }
+
+// MLP is the float64 (training) network.
+type MLP = MLPOf[float64]
 
 // NewMLP builds an MLP with the given layer widths (e.g. in, hidden, out).
 func NewMLP(rng *rand.Rand, widths ...int) *MLP {
@@ -193,9 +278,18 @@ func NewMLP(rng *rand.Rand, widths ...int) *MLP {
 	return m
 }
 
+// ConvertMLP copies a trained float64 MLP into element type T.
+func ConvertMLP[T autodiff.Float](m *MLP) *MLPOf[T] {
+	return &MLPOf[T]{
+		weights: convParams[T](m.weights),
+		biases:  convParams[T](m.biases),
+		Slope:   m.Slope,
+	}
+}
+
 // Params returns the trainable parameters.
-func (m *MLP) Params() []*autodiff.Value {
-	var out []*autodiff.Value
+func (m *MLPOf[T]) Params() []*autodiff.ValueOf[T] {
+	var out []*autodiff.ValueOf[T]
 	for i := range m.weights {
 		out = append(out, m.weights[i], m.biases[i])
 	}
@@ -205,20 +299,21 @@ func (m *MLP) Params() []*autodiff.Value {
 // SetOutputBias sets the bias of one output column of the final layer.
 // Useful to start gated outputs away from saturation (e.g. a sigmoid gate
 // biased positive so early penalty gradients cannot kill it).
-func (m *MLP) SetOutputBias(col int, v float64) {
+func (m *MLPOf[T]) SetOutputBias(col int, v float64) {
 	last := m.biases[len(m.biases)-1]
-	last.Val.Set(0, col, v)
+	last.Val.Set(0, col, T(v))
 }
 
 // Forward applies the MLP with LeakyReLU between layers (linear output).
 // Each layer is one fused Linear/LinearLeakyReLU kernel.
-func (m *MLP) Forward(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+func (m *MLPOf[T]) Forward(tp *autodiff.TapeOf[T], x *autodiff.ValueOf[T]) *autodiff.ValueOf[T] {
 	h := x
+	slope := T(m.Slope)
 	for i := range m.weights {
 		tp.Watch(m.weights[i])
 		tp.Watch(m.biases[i])
 		if i+1 < len(m.weights) {
-			h = tp.LinearLeakyReLU(h, m.weights[i], m.biases[i], m.Slope)
+			h = tp.LinearLeakyReLU(h, m.weights[i], m.biases[i], slope)
 		} else {
 			h = tp.Linear(h, m.weights[i], m.biases[i])
 		}

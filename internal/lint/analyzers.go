@@ -17,6 +17,7 @@ func Analyzers() []*Analyzer {
 		noFloatEquality,
 		checkedErrors,
 		noFmtPrintInLib,
+		noDtypeLiteral,
 	}
 }
 
@@ -268,6 +269,63 @@ var checkedErrors = &Analyzer{
 			if returnsError(f.Info.Types[call].Type) && !errExempt(f, call) {
 				report(stmt, "returned error is discarded; handle it or assign to _ explicitly")
 			}
+			return true
+		})
+	},
+}
+
+// floatConstrained reports whether the type parameter's constraint includes
+// a floating-point term (e.g. the autodiff Float = float32 | float64 set).
+func floatConstrained(tp *types.TypeParam) bool {
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch e := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < e.Len(); j++ {
+				if isFloat(e.Term(j).Type()) {
+					return true
+				}
+			}
+		default:
+			if isFloat(e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var noDtypeLiteral = &Analyzer{
+	Name: "no-dtype-literal",
+	Doc: "a float64(x)/float32(x) conversion of a float-constrained type parameter " +
+		"pins generic kernel code to one dtype and silently defeats the float32 " +
+		"inference path; route scalar math through the sanctioned helpers " +
+		"(autodiff's f64/ToFloat64) instead",
+	run: func(f *File, report func(ast.Node, string, ...any)) {
+		if f.IsTest {
+			return // equivalence tests widen T deliberately
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := f.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // a call, not a conversion
+			}
+			b, ok := tv.Type.(*types.Basic)
+			if !ok || b.Info()&types.IsFloat == 0 {
+				return true
+			}
+			tp, ok := f.Info.TypeOf(call.Args[0]).(*types.TypeParam)
+			if !ok || !floatConstrained(tp) {
+				return true
+			}
+			report(call, "%s(...) of type parameter %s pins the dtype in generic code; use the sanctioned scalar helpers", b.Name(), tp.Obj().Name())
 			return true
 		})
 	},

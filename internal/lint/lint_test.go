@@ -119,6 +119,16 @@ func TestNoFmtPrintInLib(t *testing.T) {
 	)
 }
 
+func TestNoDtypeLiteral(t *testing.T) {
+	wantExact(t, "no-dtype-literal",
+		"internal/lib/dtype.go:9:9",  // float64(T)
+		"internal/lib/dtype.go:14:9", // float32(T)
+	)
+	// The suppressed widening, conversions toward the type parameter,
+	// non-generic conversions, and non-float constraints must all be
+	// absent — covered by the exact match.
+}
+
 func TestMalformedDirective(t *testing.T) {
 	wantExact(t, directiveRule,
 		"internal/lib/spawn.go:17:2", // //lint:ignore without a reason

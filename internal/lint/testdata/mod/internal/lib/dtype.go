@@ -1,0 +1,30 @@
+package lib
+
+// dtype fixture: conversions of float-constrained type parameters.
+
+type floaty interface{ float32 | float64 }
+
+// Widen pins the dtype with a float64 literal conversion: flagged.
+func Widen[T floaty](x T) float64 {
+	return float64(x)
+}
+
+// Narrow pins the dtype with a float32 conversion: flagged.
+func Narrow[T floaty](x T) float32 {
+	return float32(x)
+}
+
+// WidenSuppressed is the sanctioned funnel, using the escape hatch.
+func WidenSuppressed[T floaty](x T) float64 {
+	//lint:ignore no-dtype-literal fixture: the one sanctioned widening helper
+	return float64(x)
+}
+
+// ToT converts toward the type parameter: allowed (how literals enter T).
+func ToT[T floaty](x float64) T { return T(x) }
+
+// Plain is a non-generic conversion: allowed.
+func Plain(x float64) float32 { return float32(x) }
+
+// Whole converts a non-float type parameter: allowed (nothing to defeat).
+func Whole[T ~int](x T) float64 { return float64(x) }

@@ -80,8 +80,19 @@ func (db *DB) Paths(src, dst constellation.SatID) []Path {
 // pool. Afterwards Paths for those pairs is a cache hit. Duplicate and
 // already-known pairs are skipped.
 func (db *DB) Precompute(pairs []Pair) {
-	missing := make([]Pair, 0, len(pairs))
-	seen := make(map[Pair]struct{}, len(pairs))
+	// Early out without allocating: in a replay loop most cycles request
+	// pair sets that are already fully cached.
+	nMissing := 0
+	for _, p := range pairs {
+		if _, ok := db.paths[p]; !ok {
+			nMissing++
+		}
+	}
+	if nMissing == 0 {
+		return
+	}
+	missing := make([]Pair, 0, nMissing)
+	seen := make(map[Pair]struct{}, nMissing)
 	for _, p := range pairs {
 		if _, ok := db.paths[p]; ok {
 			continue
@@ -142,19 +153,28 @@ func (db *DB) unindex(pair Pair, ps []Path) {
 }
 
 // Update moves the database to a new snapshot, recomputing only the pairs
-// whose paths traverse a removed link. The independent recomputations run in
-// parallel; the index merge is serial and processes pairs in sorted order so
-// the update is deterministic. It returns the number of pairs recomputed.
+// whose paths traverse a removed link. The router is rebased incrementally
+// over the link churn instead of rebuilt from scratch. The independent
+// recomputations run in parallel; the index merge is serial and processes
+// pairs in sorted order so the update is deterministic. It returns the
+// number of pairs recomputed.
 func (db *DB) Update(s *topology.Snapshot) int {
-	_, removed := db.snap.Diff(s)
+	added, removed := db.snap.Diff(s)
+	db.snap = s
+	db.router.Rebase(s, added, removed)
+	if len(added) == 0 && len(removed) == 0 {
+		// Same link set (positions may still have moved): every cached path
+		// remains valid, nothing to recompute.
+		db.Stats.Updates++
+		db.Stats.PairsTotal = len(db.paths)
+		return 0
+	}
 	dirtySet := make(map[Pair]struct{})
 	for _, l := range removed {
 		for pair := range db.linkIndex[linkKey(l)] {
 			dirtySet[pair] = struct{}{}
 		}
 	}
-	db.snap = s
-	db.router = NewGridRouter(db.Cons, s)
 	dirty := make([]Pair, 0, len(dirtySet))
 	for pair := range dirtySet {
 		dirty = append(dirty, pair)
@@ -165,6 +185,11 @@ func (db *DB) Update(s *topology.Snapshot) int {
 		}
 		return dirty[i].Dst < dirty[j].Dst
 	})
+	if len(dirty) > 0 {
+		// Build the generic fallback graph before the fan-out so the
+		// parallel searches do not serialise behind its lazy construction.
+		db.router.Prewarm()
+	}
 	results := db.computeAll(dirty)
 	for i, pair := range dirty {
 		db.unindex(pair, db.paths[pair])

@@ -29,11 +29,13 @@ type GridRouter struct {
 	Snap *topology.Snapshot
 
 	links map[uint64]topology.Link
-	// graph is the lazily built generic-engine view; graphOnce guards the
+	// graph is the lazily built generic-engine view; graphMu guards the
 	// build so KShortest is safe to call from many goroutines at once (the
-	// router is otherwise read-only after construction).
-	graphOnce sync.Once
-	graph     *Graph
+	// router is otherwise read-only between Rebase calls). Rebase drops the
+	// graph; the next fallback (or Prewarm) rebuilds it from the new
+	// snapshot.
+	graphMu sync.Mutex
+	graph   *Graph
 	// crossLinks[sat] lists cross-shell or relay partners of sat.
 	crossLinks map[topology.NodeID][]topology.NodeID
 }
@@ -56,8 +58,57 @@ func NewGridRouter(c *constellation.Constellation, s *topology.Snapshot) *GridRo
 }
 
 func (r *GridRouter) generic() *Graph {
-	r.graphOnce.Do(func() { r.graph = GraphFrom(r.Snap) })
+	r.graphMu.Lock()
+	defer r.graphMu.Unlock()
+	if r.graph == nil {
+		r.graph = GraphFrom(r.Snap)
+	}
 	return r.graph
+}
+
+// Prewarm eagerly builds the generic-engine fallback graph, so a following
+// parallel KShortest fan-out does not serialise its first fallbacks behind
+// the lazy build.
+func (r *GridRouter) Prewarm() { r.generic() }
+
+// Rebase moves the router to a new snapshot given the link churn between the
+// old and new one, patching the link set and cross-link adjacency in place
+// instead of rebuilding them from the full link list. The generic fallback
+// graph is dropped (positions move every snapshot) and rebuilt lazily.
+// The caller must not be running concurrent KShortest queries.
+func (r *GridRouter) Rebase(s *topology.Snapshot, added, removed []topology.Link) {
+	r.Snap = s
+	for _, l := range removed {
+		delete(r.links, linkKey(l))
+		if l.Kind == topology.CrossShellLaser || l.Kind == topology.GroundRelayLink {
+			r.crossLinks[l.A] = dropNode(r.crossLinks[l.A], l.B)
+			r.crossLinks[l.B] = dropNode(r.crossLinks[l.B], l.A)
+		}
+	}
+	for _, l := range added {
+		r.links[linkKey(l)] = l
+		if l.Kind == topology.CrossShellLaser || l.Kind == topology.GroundRelayLink {
+			r.crossLinks[l.A] = append(r.crossLinks[l.A], l.B)
+			r.crossLinks[l.B] = append(r.crossLinks[l.B], l.A)
+		}
+	}
+	r.graphMu.Lock()
+	r.graph = nil
+	r.graphMu.Unlock()
+}
+
+// dropNode removes every occurrence of id, preserving order.
+func dropNode(s []topology.NodeID, id topology.NodeID) []topology.NodeID {
+	out := s[:0]
+	for _, n := range s {
+		if n != id {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // torusDelta returns the signed shortest displacement from a to b modulo n.

@@ -106,17 +106,36 @@ func Concat(a, b Path) (Path, bool) {
 	return p, true
 }
 
-// Dedup removes duplicate paths (by Key), preserving order.
+// SameNodes reports whether two paths traverse the identical node sequence.
+func SameNodes(a, b Path) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i, n := range a.Nodes {
+		if n != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dedup removes duplicate paths (same node sequence), preserving order. The
+// comparison is quadratic in the candidate count but allocation-free —
+// KShortest calls it with k≈10 candidates on the hot path, where the former
+// per-path string keys dominated its cost.
 func Dedup(ps []Path) []Path {
-	seen := make(map[string]struct{}, len(ps))
 	out := ps[:0]
 	for _, p := range ps {
-		k := p.Key()
-		if _, ok := seen[k]; ok {
-			continue
+		dup := false
+		for _, q := range out {
+			if SameNodes(p, q) {
+				dup = true
+				break
+			}
 		}
-		seen[k] = struct{}{}
-		out = append(out, p)
+		if !dup {
+			out = append(out, p)
+		}
 	}
 	return out
 }

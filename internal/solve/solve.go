@@ -45,6 +45,27 @@ func (o Objective) String() string {
 	return "throughput"
 }
 
+// Dtype selects the floating-point element type a solver computes in.
+type Dtype uint8
+
+const (
+	// Float64 is the default: full-precision inference, bitwise identical to
+	// the pre-dtype solvers.
+	Float64 Dtype = iota
+	// Float32 requests the half-memory-traffic inference path. Solvers
+	// without a float32 implementation (all baselines, and SaTE's MLU head)
+	// ignore the request and compute in float64.
+	Float32
+)
+
+// String returns the dtype's metric-label spelling.
+func (d Dtype) String() string {
+	if d == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
 // Options is the resolved option set a solver sees. The zero value means:
 // throughput objective, no instrumentation, default worker budget.
 type Options struct {
@@ -58,6 +79,16 @@ type Options struct {
 	// active (par's budget is), so concurrent solves with different
 	// overrides race on it — use per-call overrides from one driver loop.
 	Workers int
+	// Dtype selects the element type of the solver's numeric kernels.
+	// Solvers without a narrower implementation ignore it (see Dtype).
+	Dtype Dtype
+	// Warm carries solver-specific cross-call state for temporal-coherence
+	// reuse (e.g. core.CycleState for SaTE: reused graph storage and cached
+	// R1 embeddings). The concrete type is owned by the solver; a solver
+	// that does not recognise the value ignores it. The state is mutated by
+	// the solve, so callers must not share one value across concurrent
+	// solves.
+	Warm any
 }
 
 // Option mutates Options. Options values are cheap closures built once at
@@ -74,6 +105,14 @@ func WithRegistry(r *obs.Registry) Option { return func(o *Options) { o.Registry
 // WithWorkers overrides the worker budget for the call (n <= 0 keeps the
 // current budget).
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithDtype selects the floating-point element type for the call.
+func WithDtype(d Dtype) Option { return func(o *Options) { o.Dtype = d } }
+
+// WithWarm attaches solver-specific warm-start state to the call; pass the
+// same value on every cycle of a replay loop to let the solver reuse work
+// across topologically-coherent problems.
+func WithWarm(w any) Option { return func(o *Options) { o.Warm = w } }
 
 // Build folds a variadic option list into an Options value.
 func Build(opts ...Option) Options {

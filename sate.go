@@ -69,6 +69,11 @@ type (
 	SolveOptions = solve.Options
 	// Objective selects what a solver optimises.
 	Objective = solve.Objective
+	// Dtype selects the floating-point element type a solver computes in.
+	Dtype = solve.Dtype
+	// CycleState carries SaTE warm-start state across successive TE cycles;
+	// pass one value through WithWarm on every cycle of a loop.
+	CycleState = core.CycleState
 )
 
 // Solve objectives.
@@ -77,6 +82,15 @@ const (
 	Throughput = solve.Throughput
 	// MLU minimises the maximum link utilisation (Appendix H.2).
 	MLU = solve.MLU
+)
+
+// Solve dtypes (DESIGN.md §11).
+const (
+	// Float64 is the default full-precision inference path.
+	Float64 = solve.Float64
+	// Float32 halves inference memory traffic; solvers without a float32
+	// implementation (and the MLU refinement stage) silently stay float64.
+	Float32 = solve.Float32
 )
 
 // NewRegistry creates an enabled metrics registry. A nil *Registry is also
@@ -92,6 +106,12 @@ var (
 	WithRegistry = solve.WithRegistry
 	// WithWorkers overrides the worker-pool parallelism for the call.
 	WithWorkers = solve.WithWorkers
+	// WithDtype selects the inference element type (Float32 halves memory
+	// traffic; solvers without a narrower path ignore it).
+	WithDtype = solve.WithDtype
+	// WithWarm threads a *CycleState through the solver so consecutive
+	// low-churn cycles reuse topology-derived work (DESIGN.md §11).
+	WithWarm = solve.WithWarm
 )
 
 // Solve runs any allocator through the unified option-aware entry point:

@@ -1,23 +1,78 @@
 #!/bin/sh
-# Core benchmark runner with two modes:
+# Core benchmark runner with three modes:
 #
-#   bench.sh smoke   - every core benchmark once (-benchtime=1x): catches
-#                      benchmarks that crash or regress to non-compiling.
-#                      Wired into scripts/check.sh.
-#   bench.sh full    - real measurement (-benchtime=3x -count=2) of the core
-#                      set; appends a perf-trajectory snapshot to
-#                      BENCH_<YYYY-MM-DD>.json so successive PRs can compare
-#                      ns/op, B/op and allocs/op over time.
+#   bench.sh smoke        - every core benchmark once (-benchtime=1x): catches
+#                           benchmarks that crash or regress to non-compiling.
+#                           Wired into scripts/check.sh.
+#   bench.sh full         - real measurement (-benchtime=3x -count=2) of the
+#                           core set; appends a perf-trajectory snapshot to
+#                           BENCH_<YYYY-MM-DD>.json and prints per-benchmark
+#                           deltas against the most recent previous snapshot.
+#   bench.sh full --gate  - same, but exits nonzero when any benchmark
+#                           regresses more than 10% in ns/op or allocs/op
+#                           against the previous snapshot.
 #
 # The core set covers the hot paths the perf PRs target: SaTE inference at
-# two scales, the zero-allocation tape-reuse step, the matmul kernel, and
-# the k-shortest path search.
+# two scales in both dtypes, warm vs cold cycle replay, the zero-allocation
+# tape-reuse step, the matmul kernel, and the k-shortest path search.
 set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-smoke}"
-CORE_ROOT='BenchmarkSaTEInference66|BenchmarkSaTEInference396|BenchmarkGridKShortestStarlink'
+GATE="${2:-}"
+CORE_ROOT='BenchmarkSaTEInference66$|BenchmarkSaTEInference396$|BenchmarkSaTEInference66F32|BenchmarkSaTEInference396F32|BenchmarkSaTECycleReplay|BenchmarkGridKShortestStarlink'
 CORE_AUTODIFF='BenchmarkTapeReuseForwardBackward|BenchmarkTapeFreshForwardBackward|BenchmarkParMatMulSerial|BenchmarkParSegmentSoftmaxSerial'
+
+# diff_snapshots OLD NEW [gate]: per-benchmark ns/op and allocs/op deltas.
+# Snapshots store one result line per benchmark run (count=2 -> two lines);
+# the best (minimum) ns/op run per name is compared, which is the standard
+# way to suppress scheduler noise on a shared box. With "gate", exits 1 when
+# any benchmark present in both snapshots regresses >10% in either metric.
+diff_snapshots() {
+	awk -v old="$1" -v new="$2" -v gate="${3:-}" '
+	function parse(file, ns, al,   line, name, v) {
+		while ((getline line < file) > 0) {
+			if (line !~ /"name":/) continue
+			name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+			v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
+			if (!(name in ns) || v + 0 < ns[name] + 0) {
+				ns[name] = v + 0
+				v = line; sub(/.*"allocs_op": /, "", v); sub(/[,}].*/, "", v)
+				al[name] = v
+			}
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		}
+		close(file)
+	}
+	BEGIN {
+		parse(old, ons, oal)
+		n = 0; delete order; delete seen
+		parse(new, nns, nal)
+		fail = 0
+		printf "%-40s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			if (!(name in ons)) {
+				printf "%-40s %14s %14.0f %8s %s\n", name, "-", nns[name], "new", nal[name]
+				continue
+			}
+			d = 100 * (nns[name] - ons[name]) / ons[name]
+			amark = nal[name]
+			if (oal[name] != "null" && nal[name] != "null" && oal[name] + 0 != nal[name] + 0)
+				amark = oal[name] " -> " nal[name]
+			printf "%-40s %14.0f %14.0f %+7.1f%% %s\n", name, ons[name], nns[name], d, amark
+			if (gate != "") {
+				if (d > 10) { print "GATE: " name " ns/op regressed " sprintf("%+.1f%%", d); fail = 1 }
+				if (oal[name] != "null" && nal[name] != "null" && oal[name] + 0 > 0 && \
+				    nal[name] + 0 > oal[name] * 1.1) {
+					print "GATE: " name " allocs/op regressed " oal[name] " -> " nal[name]
+					fail = 1
+				}
+			}
+		}
+		exit fail
+	}'
+}
 
 case "$MODE" in
 smoke)
@@ -30,6 +85,8 @@ full)
 	OUT="BENCH_${DATE}.json"
 	TMP="$(mktemp)"
 	trap 'rm -f "$TMP"' EXIT
+	# The most recent previous snapshot, before OUT is (re)written.
+	PREV="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort | tail -n 1 || true)"
 	echo "== bench full (3x, count=2) -> $OUT =="
 	go test -run '^$' -bench "$CORE_ROOT" -benchtime=3x -count=2 . | tee -a "$TMP"
 	go test -run '^$' -bench "$CORE_AUTODIFF" -benchtime=3x -count=2 ./internal/autodiff/ | tee -a "$TMP"
@@ -54,9 +111,22 @@ full)
 		echo '}'
 	} >"$OUT"
 	echo "wrote $OUT"
+	if [ -n "$PREV" ]; then
+		echo "== delta vs $PREV =="
+		if [ "$GATE" = "--gate" ]; then
+			diff_snapshots "$PREV" "$OUT" gate || {
+				echo "bench gate: regression above 10% threshold" >&2
+				exit 1
+			}
+		else
+			diff_snapshots "$PREV" "$OUT"
+		fi
+	elif [ "$GATE" = "--gate" ]; then
+		echo "bench gate: no previous BENCH_*.json to compare against" >&2
+	fi
 	;;
 *)
-	echo "usage: $0 [smoke|full]" >&2
+	echo "usage: $0 [smoke|full [--gate]]" >&2
 	exit 2
 	;;
 esac
