@@ -8,16 +8,25 @@
 //	satelint -only seeded-rand-only ./internal/...
 //	satelint -skip no-float-equality ./...
 //	satelint -list                      # describe the rules
+//	satelint -json ./...                # machine-readable findings
+//	satelint -baseline .satelint-baseline.json ./...
+//	satelint -write-baseline .satelint-baseline.json ./...
 //
 // Suppress an individual finding with a directive comment on the same line
 // or the line directly above it (the reason is mandatory):
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
+// A baseline file records tolerated findings for incremental adoption:
+// -baseline subtracts them from the output, -write-baseline snapshots the
+// current findings. Entries match on (file, rule, message), not line
+// numbers, so unrelated edits do not invalidate them.
+//
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,13 +36,25 @@ import (
 	"sate/internal/lint"
 )
 
+// jsonFinding is the -json output shape for one diagnostic.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the available rules and exit")
-		only     = flag.String("only", "", "comma-separated rules to run (default: all)")
-		skip     = flag.String("skip", "", "comma-separated rules to skip")
-		dir      = flag.String("dir", ".", "module directory to lint")
-		skipTest = flag.Bool("no-tests", false, "do not analyze _test.go files")
+		list      = flag.Bool("list", false, "list the available rules and exit")
+		only      = flag.String("only", "", "comma-separated rules to run (default: all)")
+		skip      = flag.String("skip", "", "comma-separated rules to skip")
+		dir       = flag.String("dir", ".", "module directory to lint")
+		skipTest  = flag.Bool("no-tests", false, "do not analyze _test.go files")
+		asJSON    = flag.Bool("json", false, "emit findings as a JSON array")
+		baseline  = flag.String("baseline", "", "subtract findings recorded in this baseline file")
+		writeBase = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	)
 	flag.Parse()
 
@@ -61,19 +82,68 @@ func main() {
 	}
 
 	findings := lint.Run(files, analyzers)
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		// Print paths relative to the working directory when possible:
-		// shorter, and clickable in most terminals.
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				f.Pos.Filename = rel
-			}
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		root = ""
+	}
+
+	if *writeBase != "" {
+		if err := lint.WriteBaseline(*writeBase, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		fmt.Println(f)
+		fmt.Fprintf(os.Stderr, "satelint: wrote %d finding(s) to %s\n", len(findings), *writeBase)
+		return
+	}
+	if *baseline != "" {
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var stale int
+		findings, stale = b.Filter(root, findings)
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "satelint: %d stale baseline entr(ies) match no finding; regenerate with -write-baseline\n", stale)
+		}
+	}
+
+	if *asJSON {
+		out := []jsonFinding{}
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: relToCwd(f.Pos.Filename),
+				Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			f.Pos.Filename = relToCwd(f.Pos.Filename)
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "satelint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relToCwd renders a path relative to the working directory when possible:
+// shorter, and clickable in most terminals.
+func relToCwd(path string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }

@@ -34,6 +34,10 @@ type slab[T any] struct {
 	cur int
 }
 
+// take returns the next n entries of the backing buffer, growing it only
+// when the request does not fit.
+//
+//lint:ignore hotpath-no-alloc slab growth is amortized; steady state bump-allocates from the retained buffer (TestTapeReuseZeroAllocs)
 func (s *slab[T]) take(n int) []T {
 	if n == 0 {
 		return nil
@@ -90,6 +94,8 @@ func shapeKey(rows, cols int) uint64 {
 
 // tensor returns a zeroed rows x cols tensor, recycled when a slab of that
 // shape is on the free-list.
+//
+//lint:ignore hotpath-no-alloc allocates only on free-list miss; after one warm-up pass every shape is recycled (TestTapeReuseZeroAllocs)
 func (a *arena[T]) tensor(rows, cols int) *TensorOf[T] {
 	key := shapeKey(rows, cols)
 	if fl := a.free[key]; len(fl) > 0 {
@@ -113,6 +119,8 @@ func (a *arena[T]) tensor(rows, cols int) *TensorOf[T] {
 // slab still holds the previous pass's values. Only for op results whose
 // forward kernel stores every element before any read; accumulating kernels
 // (scatter-add, segment attention) and gradient buffers must use tensor.
+//
+//lint:ignore hotpath-no-alloc allocates only on free-list miss; after one warm-up pass every shape is recycled (TestTapeReuseZeroAllocs)
 func (a *arena[T]) tensorRaw(rows, cols int) *TensorOf[T] {
 	key := shapeKey(rows, cols)
 	if fl := a.free[key]; len(fl) > 0 {
@@ -133,6 +141,8 @@ func (a *arena[T]) tensorRaw(rows, cols int) *TensorOf[T] {
 
 // value returns a zeroed Value from the slab. The pointer stays valid until
 // the tape is garbage; reset only recycles the storage for reuse.
+//
+//lint:ignore hotpath-no-alloc block growth is amortized; steady state rewinds and reuses pointer-stable blocks (TestTapeReuseZeroAllocs)
 func (a *arena[T]) value() *ValueOf[T] {
 	if a.valBlock == len(a.valBlocks) {
 		a.valBlocks = append(a.valBlocks, make([]ValueOf[T], valueBlockSize))
@@ -150,6 +160,8 @@ func (a *arena[T]) value() *ValueOf[T] {
 
 // reset returns every outstanding tensor to its free-list and rewinds the
 // slabs. Callers must drop all references obtained since the previous reset.
+//
+//lint:ignore hotpath-no-alloc free-list append reaches high-water capacity after one pass and stops growing (TestTapeReuseZeroAllocs)
 func (a *arena[T]) reset() {
 	for _, t := range a.owned {
 		key := shapeKey(t.Rows, t.Cols)

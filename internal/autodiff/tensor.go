@@ -154,6 +154,8 @@ func NewInferenceTapeOf[T Float]() *TapeOf[T] { return &TapeOf[T]{noGrad: true} 
 // are invalidated: the next pass reuses their storage. Prefer Reset over a
 // fresh NewTape in loops; after one warm-up pass the steady state allocates
 // nothing.
+//
+//sate:hotpath tape recycle between passes; the core of the zero-alloc steady state
 func (tp *TapeOf[T]) Reset() {
 	tp.nodes = tp.nodes[:0]
 	tp.arena.reset()
@@ -234,6 +236,7 @@ func (tp *TapeOf[T]) newNode(rows, cols int, back func(*ValueOf[T])) *ValueOf[T]
 	if !tp.noGrad {
 		v.Grad = tp.arena.tensor(rows, cols)
 		v.back = back
+		//lint:ignore hotpath-no-alloc gradient tapes only (inference tapes set noGrad); the node list reaches high-water capacity and stops growing
 		tp.nodes = append(tp.nodes, v)
 	}
 	return v
@@ -250,6 +253,7 @@ func (tp *TapeOf[T]) newNodeStored(rows, cols int, back func(*ValueOf[T])) *Valu
 	if !tp.noGrad {
 		v.Grad = tp.arena.tensor(rows, cols)
 		v.back = back
+		//lint:ignore hotpath-no-alloc gradient tapes only (inference tapes set noGrad); the node list reaches high-water capacity and stops growing
 		tp.nodes = append(tp.nodes, v)
 	}
 	return v
@@ -283,6 +287,8 @@ func (tp *TapeOf[T]) Watch(p *ValueOf[T]) *ValueOf[T] {
 }
 
 // Backward runs reverse accumulation from a scalar output (1x1 tensor).
+//
+//sate:hotpath reverse pass of every training step
 func (tp *TapeOf[T]) Backward(out *ValueOf[T]) {
 	if tp.noGrad {
 		panic("autodiff: Backward on an inference tape")

@@ -682,9 +682,9 @@ func (s *Server) run(ctx context.Context, cfg RunConfig, stop <-chan struct{}) e
 
 	m := &s.metrics
 	start := time.Now()
-	idx := 0          // cycle index being attempted
-	lastIdx := -1     // last attempted index, to tell retries from fresh cycles
-	consecutive := 0  // consecutive failed attempts, drives the backoff
+	idx := 0         // cycle index being attempted
+	lastIdx := -1    // last attempted index, to tell retries from fresh cycles
+	consecutive := 0 // consecutive failed attempts, drives the backoff
 	for {
 		if idx == lastIdx {
 			m.retriesTotal.Inc()

@@ -114,6 +114,8 @@ func BuildTEGraph(p *te.Problem) *TEGraph { return BuildTEGraphInto(nil, p) }
 // after a few cycles and graph construction stops allocating. The caller
 // owns g exclusively; the returned graph is g (or a fresh one when nil) and
 // aliases its storage, so it must not be retained past the next rebuild.
+//
+//lint:ignore hotpath-no-alloc builds by appending into retained high-water capacity; allocation-free once warm (TestSolveObsAddsZeroAllocs pins it)
 func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
 	if g == nil {
 		g = &TEGraph{}

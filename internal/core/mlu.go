@@ -119,6 +119,8 @@ func TrainMLU(m *Model, problems []*te.Problem, epochs int, lr float64, registry
 // Deprecated: SolveMLU is the pre-redesign spelling; it is equivalent to
 // Solve(p, solve.WithObjective(solve.MLU), opts...). It remains a supported
 // thin wrapper.
+//
+//sate:hotpath MLU-objective inference entry point, one call per TE cycle
 func (m *Model) SolveMLU(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
 	return m.solveMLU(p, solve.Build(opts...))
 }

@@ -225,6 +225,7 @@ func (m *Model) float32Net() *netOf[float32] {
 	gen := m.weightGen.Load()
 	m.f32mu.Lock()
 	defer m.f32mu.Unlock()
+	//lint:ignore hotpath-no-alloc weight conversion runs once per weight generation; steady-state solves return the cached copy
 	if m.f32 == nil || m.f32gen != gen {
 		m.f32 = convertNet(&m.netOf)
 		m.f32gen = gen
@@ -387,6 +388,8 @@ func putTape[T autodiff.Float](pool *sync.Pool, tp *autodiff.TapeOf[T]) {
 // solveThroughput is the dtype-generic throughput inference path: graph
 // construction (into warm storage when available), GNN inference, decoding,
 // and the feasibility correction.
+//
+//sate:hotpath steady-state inference; warm solves add zero heap allocations (TestSolveObsAddsZeroAllocs)
 func solveThroughput[T autodiff.Float](m *Model, net *netOf[T], pool *sync.Pool, cs *CycleState, rc *r1Cache[T], p *te.Problem, o solve.Options, name string) (*te.Allocation, error) {
 	a := solve.Begin(o, name)
 	defer a.End()
@@ -433,6 +436,8 @@ func solveThroughput[T autodiff.Float](m *Model, net *netOf[T], pool *sync.Pool,
 // — reused graph storage plus cached R1 embeddings across cycles).
 // Instrumentation adds zero heap allocations to the warm solve path
 // (TestSolveObsAddsZeroAllocs).
+//
+//sate:hotpath inference entry point, one call per TE cycle
 func (m *Model) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
 	o := solve.Build(opts...)
 	if o.Objective == solve.MLU {

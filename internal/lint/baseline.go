@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support for incremental adoption: a committed JSON file listing
+// known findings that are tolerated until paid down. Findings are matched
+// by (module-relative path, rule, message) — line numbers are deliberately
+// excluded so unrelated edits do not invalidate entries. The baseline is a
+// multiset: two identical findings need two entries.
+
+// BaselineEntry is one tolerated finding.
+type BaselineEntry struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Baseline is the committed set of tolerated findings.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the findings as a baseline file, with paths made
+// relative to root.
+func WriteBaseline(path, root string, findings []Finding) error {
+	b := Baseline{Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File: relSlash(root, f.Pos.Filename),
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter removes baselined findings, returning the remainder plus the
+// count of baseline entries that matched nothing (stale entries a clean-up
+// should drop).
+func (b *Baseline) Filter(root string, findings []Finding) (kept []Finding, stale int) {
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, f := range findings {
+		e := BaselineEntry{File: relSlash(root, f.Pos.Filename), Rule: f.Rule, Msg: f.Msg}
+		if budget[e] > 0 {
+			budget[e]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, left := range budget {
+		stale += left
+	}
+	return kept, stale
+}
+
+// relSlash renders path relative to root with forward slashes; paths
+// outside root stay absolute so they never collide with in-module ones.
+func relSlash(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

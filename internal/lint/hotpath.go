@@ -1,0 +1,537 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpath-no-alloc: functions annotated //sate:hotpath, and everything
+// reachable from them through the call graph, must not contain allocating
+// constructs. The paper's latency claim rests on the steady-state solve
+// being allocation-free; AllocsPerRun spot checks sample a handful of entry
+// points, this rule closes over every function they can reach.
+//
+// Flagged constructs: make/new/append, slice and map composite literals,
+// &T{...}, capturing closures that escape (not immediately invoked),
+// interface boxing at call and conversion sites, non-constant string
+// concatenation, string<->[]byte/[]rune conversions, map-entry assignment
+// (may rehash), go statements, fmt calls, and calls into any external
+// package outside a small no-alloc allowlist.
+//
+// Opt-outs use the existing //lint:ignore hotpath-no-alloc mechanism with
+// extended extent semantics: a directive on (or directly above) a
+// statement covers the statement's entire subtree and cuts any call edges
+// inside it; a directive on a func declaration removes the whole function
+// from the traversal.
+
+const hotRule = "hotpath-no-alloc"
+
+// hotExternAllow lists the external packages hot code may call: their
+// exported call paths do not allocate (atomics, locks, scalar math,
+// in-place sorts, context/time accessors).
+var hotExternAllow = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync":        true,
+	"sync/atomic": true,
+	"time":        true,
+	"sort":        true,
+	"slices":      true,
+	"unsafe":      true,
+	"cmp":         true,
+	"context":     true,
+	// runtime: hot paths query GOMAXPROCS and friends; the runtime package's
+	// exported query functions do not allocate.
+	"runtime": true,
+}
+
+var hotpathNoAlloc = &Analyzer{
+	Name: hotRule,
+	Doc: "functions annotated //sate:hotpath and everything reachable from them " +
+		"must be allocation-free: no make/new/append, slice/map/&T literals, " +
+		"escaping closures, interface boxing, string building, fmt, or calls into " +
+		"external packages beyond the no-alloc allowlist; opt cold branches out " +
+		"with //lint:ignore hotpath-no-alloc on the statement or declaration",
+	runProgram: func(p *Program, report func(f *File, n ast.Node, format string, args ...any)) {
+		visited := map[*FuncNode]bool{}
+		for _, root := range p.Nodes {
+			if !root.HotRoot {
+				continue
+			}
+			if p.Suppressed(root.File, hotRule, p.declLine(root)) {
+				continue // annotated but opted out wholesale
+			}
+			// BFS from this root over not-yet-visited nodes.
+			type item struct {
+				n   *FuncNode
+				via string
+			}
+			queue := []item{{root, root.Name}}
+			visited[root] = true
+			for len(queue) > 0 {
+				it := queue[0]
+				queue = queue[1:]
+				s := &hotScanner{p: p, n: it.n, via: it.via, report: report}
+				s.scanBody()
+				for _, e := range it.n.Edges {
+					if s.cutAt(e.Site) {
+						continue // edge originates inside a suppressed extent
+					}
+					c := e.Callee
+					if visited[c] {
+						continue
+					}
+					if p.Suppressed(c.File, hotRule, p.declLine(c)) {
+						continue // declaration-level opt-out cuts the edge
+					}
+					visited[c] = true
+					via := it.via
+					if len(strings.Split(via, " -> ")) < 5 {
+						via += " -> " + c.Name
+					} else if !strings.HasSuffix(via, " -> ...") {
+						via += " -> ..."
+					}
+					queue = append(queue, item{c, via})
+				}
+			}
+		}
+	},
+}
+
+// declLine returns the line a declaration-level //lint:ignore directive
+// must cover to opt node out: the func keyword's line (so the directive
+// sits on the line above, typically as the last doc-comment line).
+func (p *Program) declLine(n *FuncNode) int {
+	return n.File.Fset.Position(n.Pos()).Line
+}
+
+// interval is a source extent excluded from the hot path: a statement-level
+// directive's statement (d set) or a panic argument (d nil).
+type interval struct {
+	lo, hi token.Pos
+	d      *directive
+}
+
+// hotScanner walks one function body flagging allocating constructs.
+type hotScanner struct {
+	p      *Program
+	n      *FuncNode
+	via    string
+	report func(f *File, n ast.Node, format string, args ...any)
+	cut    []interval
+	// asserted marks conversions consumed by an immediate type assertion
+	// (the zero-cost any(x).(T) generic-dispatch idiom).
+	asserted map[ast.Expr]bool
+}
+
+// cutAt reports whether pos lies in an excluded extent. A directive-backed
+// extent that cuts a call edge is doing its job, so the match marks it used.
+func (s *hotScanner) cutAt(pos token.Pos) bool {
+	for _, iv := range s.cut {
+		if pos >= iv.lo && pos < iv.hi {
+			if iv.d != nil {
+				iv.d.used[hotRule] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (s *hotScanner) scanBody() {
+	s.asserted = map[ast.Expr]bool{}
+	s.scan(s.n.Body(), nil)
+}
+
+// scan walks a subtree. supp is the innermost statement-extent directive,
+// nil outside any suppressed extent: findings under a directive mark it
+// used instead of being reported (so a stale extent opt-out that shields
+// nothing is itself flagged by unused-suppression).
+func (s *hotScanner) scan(root ast.Node, supp *directive) {
+	f := s.n.File
+	invoked := map[*ast.FuncLit]bool{}
+	callOnly := callOnlyLits(f, s.n.Body())
+	ast.Inspect(root, func(c ast.Node) bool {
+		if c == nil {
+			return true
+		}
+		if lit, ok := c.(*ast.FuncLit); ok {
+			// The literal's body is its own node, reached through the
+			// containment edge; here only the closure value itself is
+			// judged (capture => allocation), unless it cannot escape:
+			// invoked in place, or bound to a local that is only ever
+			// called directly.
+			if !invoked[lit] && !callOnly[lit] && capturesLocals(f, lit) {
+				s.flag(supp, lit, "closure captures local state and escapes; hoist it or pass state explicitly")
+			}
+			return false
+		}
+		if st, ok := c.(ast.Stmt); ok {
+			if d := s.extentDirective(st); d != nil && d != supp {
+				s.cut = append(s.cut, interval{st.Pos(), st.End(), d})
+				s.scan(st, d)
+				return false
+			}
+		}
+		switch x := c.(type) {
+		case *ast.TypeAssertExpr:
+			// any(x).(T) in generic code: the conversion is eliminated
+			// when T is statically known, so it is not a boxing site.
+			if conv, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				s.asserted[conv] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := f.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					// Crash path: allocations while dying are irrelevant,
+					// and nothing called from a panic argument is hot.
+					s.cut = append(s.cut, interval{x.Pos(), x.End(), nil})
+					return false
+				}
+			}
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+			s.checkCall(x, supp)
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		case *ast.GoStmt:
+			s.flag(supp, x, "go statement allocates and schedules")
+		case *ast.CompositeLit:
+			switch f.Info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				s.flag(supp, x, "slice literal allocates")
+			case *types.Map:
+				s.flag(supp, x, "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					s.flag(supp, x, "&composite literal may escape to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(f.Info.TypeOf(x)) && f.Info.Types[x].Value == nil {
+				s.flag(supp, x, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(f.Info.TypeOf(x.Lhs[0])) {
+				s.flag(supp, x, "string += allocates")
+			}
+			if x.Tok == token.ASSIGN || x.Tok == token.DEFINE {
+				for _, lhs := range x.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						if _, ok := typeUnder(f.Info.TypeOf(ix.X)).(*types.Map); ok {
+							s.flag(supp, x, "map assignment may grow the table")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// extentDirective returns a directive that covers the statement's first
+// line for the hot-path rule, without marking it used yet.
+func (s *hotScanner) extentDirective(st ast.Stmt) *directive {
+	t := s.p.supp[s.n.File]
+	if t == nil {
+		return nil
+	}
+	line := s.n.File.Fset.Position(st.Pos()).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range t.byLine[l] {
+			for _, r := range d.rules {
+				if r == hotRule {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flag reports a construct, or marks the covering extent directive used.
+func (s *hotScanner) flag(supp *directive, n ast.Node, what string) {
+	if supp != nil {
+		supp.used[hotRule] = true
+		return
+	}
+	s.report(s.n.File, n, "%s in hot path (%s)", what, s.via)
+}
+
+func (s *hotScanner) checkCall(call *ast.CallExpr, supp *directive) {
+	f := s.n.File
+	if tv, ok := f.Info.Types[call.Fun]; ok && tv.IsType() {
+		s.checkConversion(call, tv.Type, supp)
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := f.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				s.flag(supp, call, "make allocates")
+			case "new":
+				s.flag(supp, call, "new allocates")
+			case "append":
+				s.flag(supp, call, "append may grow the backing array")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if name, ok := importedCall(f, call, "fmt"); ok {
+			s.flag(supp, call, "fmt."+name+" formats through reflection and allocates")
+			return
+		}
+	}
+	// External callees outside the no-alloc allowlist.
+	if fn := calleeFunc(f, call); fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path != f.Pkg.Path() && !sameModule(f, path) && !hotExternAllow[path] {
+			s.flag(supp, call, "call into "+path+"."+fn.Name()+" (not on the hot-path allowlist) may allocate")
+		}
+	}
+	s.checkBoxing(call, supp)
+}
+
+// sameModule reports whether path belongs to the module being linted (the
+// module root path is the file's import path prefix).
+func sameModule(f *File, path string) bool {
+	mod := f.ImportPath
+	if f.RelPath != "" {
+		mod = strings.TrimSuffix(f.ImportPath, "/"+f.RelPath)
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+// calleeFunc resolves the called function object, if the callee is named.
+func calleeFunc(f *File, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := f.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := f.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkConversion flags allocating conversions: string<->[]byte/[]rune,
+// integer-to-string, and boxing into an interface type.
+func (s *hotScanner) checkConversion(call *ast.CallExpr, target types.Type, supp *directive) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if _, ok := target.(*types.TypeParam); ok {
+		return // T(x) in generic code: resolved per instantiation, not boxing
+	}
+	f := s.n.File
+	src := f.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if f.Info.Types[call].Value != nil {
+		return // constant-folded conversion
+	}
+	tu, su := typeUnder(target), typeUnder(src)
+	switch {
+	case isString(tu) && !isString(su):
+		s.flag(supp, call, "conversion to string allocates")
+	case isByteOrRuneSlice(tu) && isString(su):
+		s.flag(supp, call, "string-to-slice conversion allocates")
+	default:
+		if _, ok := tu.(*types.Interface); ok && !pointerShaped(su) && !s.asserted[call] {
+			if _, srcIface := su.(*types.Interface); !srcIface {
+				s.flag(supp, call, "conversion boxes a value into an interface")
+			}
+		}
+	}
+}
+
+// checkBoxing flags call arguments that box a concrete non-pointer-shaped
+// value into an interface-typed parameter.
+func (s *hotScanner) checkBoxing(call *ast.CallExpr, supp *directive) {
+	f := s.n.File
+	tv, ok := f.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // slice passed through, no per-element boxing
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if _, ok := pt.(*types.TypeParam); ok {
+			continue // generic parameter, not a boxing interface
+		}
+		if _, ok := typeUnder(pt).(*types.Interface); !ok {
+			continue
+		}
+		at := f.Info.TypeOf(arg)
+		if at == nil || f.Info.Types[arg].IsNil() {
+			continue
+		}
+		au := typeUnder(at)
+		if _, isIface := au.(*types.Interface); isIface {
+			continue
+		}
+		if _, isTP := at.(*types.TypeParam); isTP {
+			continue // instantiation-dependent; judged at concrete call sites
+		}
+		if pointerShaped(au) {
+			continue
+		}
+		s.flag(supp, arg, "argument boxes a value into interface parameter")
+	}
+}
+
+// callOnlyLits finds literals bound to a local variable that is used only
+// in call position (x := func(...){...}; x(); x()): such closures never
+// escape, so the compiler keeps them off the heap. Rebinding (x = other)
+// or any value use (passing, storing, returning x) disqualifies the lit.
+func callOnlyLits(f *File, body ast.Node) map[*ast.FuncLit]bool {
+	bound := map[types.Object]*ast.FuncLit{}
+	rebound := map[types.Object]bool{}
+	ast.Inspect(body, func(c ast.Node) bool {
+		as, ok := c.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := f.Info.Defs[id]
+			if obj == nil {
+				obj = f.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); ok {
+				if _, seen := bound[obj]; seen {
+					rebound[obj] = true // second binding: a recursive rebind may escape
+				} else {
+					bound[obj] = lit
+				}
+			} else {
+				rebound[obj] = true
+			}
+		}
+		return true
+	})
+	// Disqualify any bound variable used outside call position.
+	funPos := map[ast.Node]bool{}
+	ast.Inspect(body, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			funPos[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	used := map[types.Object]bool{}
+	ast.Inspect(body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || funPos[id] {
+			return true
+		}
+		if obj := f.Info.Uses[id]; obj != nil {
+			used[obj] = true
+		}
+		return true
+	})
+	out := map[*ast.FuncLit]bool{}
+	for obj, lit := range bound {
+		if !rebound[obj] && !used[obj] {
+			out[lit] = true
+		}
+	}
+	return out
+}
+
+// capturesLocals reports whether a literal references function-local
+// variables declared outside it (globals and package vars do not force a
+// closure allocation: the literal compiles to a static function).
+func capturesLocals(f *File, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		v, ok := f.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Parent() == f.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// typeUnder is Underlying with nil tolerance.
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isString(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether a value of this type fits an interface's
+// data word without an allocation at conversion time.
+func pointerShaped(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

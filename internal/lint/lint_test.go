@@ -135,6 +135,45 @@ func TestMalformedDirective(t *testing.T) {
 	)
 }
 
+func TestHotpathNoAlloc(t *testing.T) {
+	wantExact(t, "hotpath-no-alloc",
+		"internal/lib/hot.go:13:9", // append in hotHelper, reached transitively
+		"internal/lib/hot.go:20:9", // make directly in the annotated root
+	)
+	// The statement-suppressed warm-up make and everything behind the
+	// decl-suppressed buildTable edge must be absent — and because both
+	// directives cut real findings, neither shows up as unused below.
+}
+
+func TestMapOrderDeterminism(t *testing.T) {
+	wantExact(t, "map-order-determinism",
+		"internal/te/maporder.go:15:3", // float += in map range
+		"internal/te/maporder.go:24:3", // append without a following sort
+		"internal/te/maporder.go:32:3", // WriteString emits in map order
+	)
+	// SumSorted (collect-sort-fold), ScaleLoads (keyed write), and the
+	// suppressed SumTolerant accumulation must all be absent.
+}
+
+func TestCtxPropagation(t *testing.T) {
+	wantExact(t, "ctx-propagation",
+		"internal/lib/ctxprop.go:20:17", // context.Background with ctx in scope
+		"internal/lib/ctxprop.go:24:53", // unused ctx parameter
+		"internal/lib/ctxprop.go:31:15", // chain drop through freshLookup
+	)
+	// Propagates (pass-through), freshLookup itself (no ctx in scope), and
+	// the suppressed DetachedProbe drop must all be absent.
+}
+
+func TestUnusedSuppression(t *testing.T) {
+	wantExact(t, "unused-suppression",
+		"internal/lib/unused.go:6:2", // stale: shields no finding
+		"internal/lib/unused.go:8:2", // names a rule that does not exist
+	)
+	// Every other directive in the fixture tree suppresses a live finding
+	// (or cuts a live call-graph edge), so exactly these two surface.
+}
+
 // TestFindingFormat pins the rendered diagnostic shape: file:line:col [rule].
 func TestFindingFormat(t *testing.T) {
 	for _, f := range fixture(t) {

@@ -97,20 +97,41 @@ func Load(opts Options) ([]*File, error) {
 		return nil, err
 	}
 
-	// One pass over the stream: collect export data for every package and
-	// pick the lint targets. When tests are included, `go list -test`
-	// emits both "pkg" and the superset variant "pkg [pkg.test]"; only
-	// the variant is linted so each file is analyzed exactly once.
-	exports := map[string]string{}
-	targets := map[string]listPkg{}
-	var order []string
+	exports, targets, order, err := parseList(out)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var files []*File
+	for _, clean := range order {
+		p := targets[clean]
+		pkgFiles, err := checkPackage(fset, imp, modPath, clean, p, opts.SkipTests)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, pkgFiles...)
+	}
+	return files, nil
+}
+
+// parseList decodes a `go list -deps -export -json` stream in one pass:
+// it collects export data for every package and picks the lint targets.
+// When tests are included, `go list -test` emits both "pkg" and the
+// superset variant "pkg [pkg.test]"; only the variant is linted so each
+// file is analyzed exactly once.
+func parseList(out []byte) (exports map[string]string, targets map[string]listPkg, order []string, err error) {
+	exports = map[string]string{}
+	targets = map[string]listPkg{}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+			return nil, nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		clean := cleanPath(p.ImportPath)
 		if p.Export != "" {
@@ -132,27 +153,19 @@ func Load(opts Options) ([]*File, error) {
 		targets[clean] = p
 		order = append(order, clean)
 	}
+	return exports, targets, order, nil
+}
 
-	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
+// exportImporter returns an importer that resolves dependencies from the
+// compiler export-data archives indexed by import path.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
 		}
 		return os.Open(f)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-
-	var files []*File
-	for _, clean := range order {
-		p := targets[clean]
-		pkgFiles, err := checkPackage(fset, imp, modPath, clean, p, opts.SkipTests)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, pkgFiles...)
-	}
-	return files, nil
+	})
 }
 
 // checkPackage parses and type-checks one package and wraps its files.
@@ -207,8 +220,10 @@ func goListModule(dir string) (string, error) {
 		return "", err
 	}
 	mod := strings.TrimSpace(string(out))
-	if mod == "" {
-		return "", fmt.Errorf("lint: not inside a module")
+	// Outside a module the go command reports the synthetic
+	// "command-line-arguments" package instead of failing.
+	if mod == "" || mod == "command-line-arguments" {
+		return "", fmt.Errorf("lint: %s is not inside a Go module", filepath.Join(dir, "."))
 	}
 	return mod, nil
 }

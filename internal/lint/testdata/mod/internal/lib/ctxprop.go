@@ -1,0 +1,46 @@
+package lib
+
+import "context"
+
+// ctxLeaf consumes the propagated context.
+func ctxLeaf(ctx context.Context) bool {
+	return ctx.Err() == nil
+}
+
+// freshLookup is a ctx-less helper that manufactures its own context.
+func freshLookup() bool {
+	return ctxLeaf(context.Background())
+}
+
+// RemakesContext builds a fresh context even though one is in scope.
+func RemakesContext(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return ctxLeaf(context.Background())
+}
+
+// IgnoresContext promises propagation its body never delivers.
+func IgnoresContext(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// DropsThroughChain calls a ctx-less chain that makes a fresh context.
+func DropsThroughChain(ctx context.Context) bool {
+	ok := ctxLeaf(ctx)
+	return ok && freshLookup()
+}
+
+// Propagates threads the context down correctly.
+func Propagates(ctx context.Context) bool {
+	return ctxLeaf(ctx)
+}
+
+// DetachedProbe drops into a context-free helper by documented design.
+func DetachedProbe(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	//lint:ignore ctx-propagation fixture: the audit helper is context-free by design
+	return freshLookup()
+}

@@ -1,0 +1,28 @@
+package lib
+
+// buildTable allocates the lookup table once at startup; the declaration
+// directive removes it from the hot traversal entirely.
+//
+//lint:ignore hotpath-no-alloc fixture: startup-only table build
+func buildTable() []int {
+	return make([]int, 64)
+}
+
+// hotHelper is reached transitively from HotStep.
+func hotHelper(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// HotStep is the fixture's annotated hot entry point.
+//
+//sate:hotpath fixture hot root
+func HotStep(xs []int, v int) []int {
+	buf := make([]int, 8)
+	buf[0] = v
+	//lint:ignore hotpath-no-alloc fixture: warm-up branch, runs once then reuses
+	scratch := make([]int, v)
+	_ = scratch
+	tbl := buildTable()
+	_ = tbl
+	return hotHelper(xs, buf[0])
+}

@@ -1,0 +1,10 @@
+package lib
+
+// Tidy is fully compliant; its directives are the unused-suppression
+// fixtures: one shields nothing, one names a rule that does not exist.
+func Tidy(n int) int {
+	//lint:ignore no-float-equality fixture: stale, shields nothing
+	m := n + 1
+	//lint:ignore not-a-rule fixture: unknown rule name
+	return m * 2
+}

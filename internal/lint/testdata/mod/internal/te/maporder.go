@@ -1,0 +1,66 @@
+// Package te exercises the map-order-determinism fixtures: it sits in a
+// deterministic package directory, so map ranges with order-dependent
+// bodies are flagged.
+package te
+
+import (
+	"sort"
+	"strings"
+)
+
+// SumLoads accumulates floats in map iteration order (nondeterministic).
+func SumLoads(loads map[string]float64) float64 {
+	total := 0.0
+	for _, v := range loads {
+		total += v
+	}
+	return total
+}
+
+// CollectKeys appends in map order without sorting afterwards.
+func CollectKeys(loads map[string]float64) []string {
+	var keys []string
+	for k := range loads {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// RenderLoads writes entries in map order.
+func RenderLoads(loads map[string]float64, b *strings.Builder) {
+	for k := range loads {
+		b.WriteString(k)
+	}
+}
+
+// SumSorted is the sanctioned idiom: collect the keys, sort, then fold.
+func SumSorted(loads map[string]float64) float64 {
+	keys := make([]string, 0, len(loads))
+	for k := range loads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += loads[k]
+	}
+	return total
+}
+
+// ScaleLoads writes through the range key, which lands in the same slot
+// whatever the visit order.
+func ScaleLoads(in, out map[string]float64) {
+	for k, v := range in {
+		out[k] += v * 0.5
+	}
+}
+
+// SumTolerant documents why unsorted accumulation is acceptable here.
+func SumTolerant(loads map[string]float64) float64 {
+	total := 0.0
+	for _, v := range loads {
+		//lint:ignore map-order-determinism fixture: result is tolerance-checked downstream
+		total += v
+	}
+	return total
+}

@@ -123,6 +123,8 @@ func SameNodes(a, b Path) bool {
 // comparison is quadratic in the candidate count but allocation-free —
 // KShortest calls it with k≈10 candidates on the hot path, where the former
 // per-path string keys dominated its cost.
+//
+//lint:ignore hotpath-no-alloc filters into the returned slice by contract (bounded by the candidate count)
 func Dedup(ps []Path) []Path {
 	out := ps[:0]
 	for _, p := range ps {

@@ -159,7 +159,16 @@ func Verify(p *te.Problem, a *te.Allocation, rs *RuleSet) error {
 // links — an independent cross-check against te.Problem.LinkLoads.
 func LinkLoadsFromRules(p *te.Problem, rs *RuleSet) map[uint64]float64 {
 	loads := make(map[uint64]float64)
-	for _, tbl := range rs.Tables {
+	// Visit tables in sorted node order: the per-link float sums must not
+	// depend on map iteration order or the cross-check itself becomes a
+	// source of run-to-run jitter.
+	nodes := make([]topology.NodeID, 0, len(rs.Tables))
+	for node := range rs.Tables {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, node := range nodes {
+		tbl := rs.Tables[node]
 		for _, r := range tbl.Rules {
 			l := topology.MakeLink(tbl.Node, r.Next, topology.IntraOrbit)
 			loads[uint64(l.A)<<32|uint64(uint32(l.B))] += r.RateMbps

@@ -128,6 +128,8 @@ type Allocation struct {
 }
 
 // NewAllocation creates a zero allocation shaped for the problem.
+//
+//sate:hotpath decoder output buffer, one per solve
 func NewAllocation(p *Problem) *Allocation {
 	// Single backing slab: one allocation instead of one per flow (Solve
 	// creates an Allocation per call, so this is steady-state garbage).
@@ -135,7 +137,9 @@ func NewAllocation(p *Problem) *Allocation {
 	for i := range p.Flows {
 		total += len(p.Flows[i].Paths)
 	}
+	//lint:ignore hotpath-no-alloc the returned allocation is the product; two slabs total instead of one slice per flow
 	x := make([][]float64, len(p.Flows))
+	//lint:ignore hotpath-no-alloc the returned allocation is the product; two slabs total instead of one slice per flow
 	data := make([]float64, total)
 	off := 0
 	for i, f := range p.Flows {
@@ -143,6 +147,7 @@ func NewAllocation(p *Problem) *Allocation {
 		x[i] = data[off : off+n : off+n]
 		off += n
 	}
+	//lint:ignore hotpath-no-alloc the returned allocation is the product; two slabs total instead of one slice per flow
 	return &Allocation{X: x}
 }
 
@@ -183,6 +188,8 @@ func (a *Allocation) FlowThroughput(f int) float64 {
 }
 
 // LinkLoads returns per-link traffic under the allocation.
+//
+//lint:ignore hotpath-no-alloc returns freshly allocated per-solve loads by API contract (one slice per call, proportional to links)
 func (p *Problem) LinkLoads(a *Allocation) []float64 {
 	load := make([]float64, len(p.Links))
 	for fi := range p.Flows {
@@ -201,6 +208,8 @@ func (p *Problem) LinkLoads(a *Allocation) []float64 {
 
 // NodeLoads returns per-node uplink (sourced) and downlink (terminated)
 // traffic under the allocation.
+//
+//lint:ignore hotpath-no-alloc returns freshly allocated per-solve loads by API contract (two slices per call, proportional to nodes)
 func (p *Problem) NodeLoads(a *Allocation) (up, down []float64) {
 	up = make([]float64, p.NumNodes)
 	down = make([]float64, p.NumNodes)
@@ -316,6 +325,7 @@ func (p *Problem) Trim(a *Allocation) {
 	// path by the minimum factor across the resources it uses. The scaled
 	// loads can only decrease, so a single pass suffices for feasibility.
 	loads := p.LinkLoads(a)
+	//lint:ignore hotpath-no-alloc per-solve correction scratch, proportional to links, not per-op
 	linkScale := make([]float64, len(loads))
 	for i := range loads {
 		linkScale[i] = 1
@@ -326,7 +336,9 @@ func (p *Problem) Trim(a *Allocation) {
 	var upScale, downScale []float64
 	if len(p.UpCap) > 0 || len(p.DownCap) > 0 {
 		up, down := p.NodeLoads(a)
+		//lint:ignore hotpath-no-alloc per-solve correction scratch, proportional to nodes, not per-op
 		upScale = make([]float64, p.NumNodes)
+		//lint:ignore hotpath-no-alloc per-solve correction scratch, proportional to nodes, not per-op
 		downScale = make([]float64, p.NumNodes)
 		for n := 0; n < p.NumNodes; n++ {
 			upScale[n], downScale[n] = 1, 1
