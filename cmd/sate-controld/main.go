@@ -28,6 +28,7 @@ import (
 	"sate/internal/core"
 	"sate/internal/obs"
 	"sate/internal/par"
+	"sate/internal/shard"
 	"sate/internal/sim"
 	"sate/internal/solve"
 	"sate/internal/topology"
@@ -48,6 +49,7 @@ func main() {
 
 		dtype     = flag.String("dtype", "float64", "inference precision for -method sate: float64 | float32")
 		warmStart = flag.Bool("warm", false, "for -method sate: warm-start each cycle from the previous one")
+		shards    = flag.Int("shards", 1, "split each solve into this many regional subproblems with boundary reconciliation (1 = monolithic)")
 
 		cycleTimeout  = flag.Float64("cycle-timeout", 0, "per-cycle timeout, seconds (0 = 10x interval, negative disables)")
 		retryBase     = flag.Float64("retry-base", 0, "initial retry backoff after a failed cycle, seconds (0 = interval/4)")
@@ -96,6 +98,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
 		os.Exit(2)
+	}
+	if *shards > 1 {
+		solver = shard.New(solver, *shards)
 	}
 
 	reg := obs.NewRegistry()

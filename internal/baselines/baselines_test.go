@@ -167,6 +167,50 @@ func TestPOP(t *testing.T) {
 	}
 }
 
+func TestPOPSingleGroupMatchesInner(t *testing.T) {
+	p := scenario(t, 60, 13)
+	a, err := (&POP{K: 1, Seed: 1}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (LPAuto{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=1 is one unscaled subproblem over every flow: the partition and the
+	// 1/K capacity scaling both vanish, so the result must match the inner
+	// solver up to the final feasibility trim's rounding.
+	if len(a.X) != len(want.X) {
+		t.Fatalf("row count %d vs %d", len(a.X), len(want.X))
+	}
+	for fi := range a.X {
+		for pi := range a.X[fi] {
+			if d := math.Abs(a.X[fi][pi] - want.X[fi][pi]); d > 1e-9 {
+				t.Fatalf("flow %d path %d: %v vs inner %v", fi, pi, a.X[fi][pi], want.X[fi][pi])
+			}
+		}
+	}
+}
+
+func TestPOPMoreGroupsThanFlows(t *testing.T) {
+	p := scenario(t, 60, 13)
+	k := len(p.Flows) * 3
+	pop := &POP{K: k, Seed: 1}
+	a, err := pop.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most groups are empty and every flow competes against capacities
+	// scaled by 1/K; the result must stay feasible and, with K far above the
+	// flow count, each flow is alone in its group — positive throughput.
+	if v := p.Check(a); v.Any(1e-6) {
+		t.Fatalf("POP K=%d infeasible: %+v", k, v)
+	}
+	if len(p.Flows) > 0 && a.Throughput() <= 0 {
+		t.Fatalf("POP K=%d: zero throughput on a solvable instance", k)
+	}
+}
+
 func TestECMPWF(t *testing.T) {
 	p := scenario(t, 60, 17)
 	a, err := ECMPWF{}.Solve(p)

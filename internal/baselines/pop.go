@@ -16,6 +16,8 @@ import (
 // parallel deployment takes max (not sum) of subproblem latencies;
 // MaxSubLatency records that for the latency experiments.
 type POP struct {
+	// K is the group count: 0 picks the default (4), 1 degenerates to a
+	// single unscaled subproblem (equivalent to the inner solver alone).
 	K     int
 	Seed  int64
 	Inner Solver // solver for subproblems; LPAuto if nil
@@ -34,7 +36,7 @@ func (POP) Name() string { return "pop" }
 func (s *POP) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
 	defer solve.Begin(solve.Build(opts...), "pop").End()
 	k := s.K
-	if k <= 1 {
+	if k <= 0 {
 		k = 4
 	}
 	inner := s.Inner

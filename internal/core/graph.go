@@ -114,12 +114,27 @@ func BuildTEGraph(p *te.Problem) *TEGraph { return BuildTEGraphInto(nil, p) }
 // after a few cycles and graph construction stops allocating. The caller
 // owns g exclusively; the returned graph is g (or a fresh one when nil) and
 // aliases its storage, so it must not be retained past the next rebuild.
+func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
+	g, _ = buildTEGraphInto(g, p, false)
+	return g
+}
+
+// buildTEGraphInto is BuildTEGraphInto with the dirty-shard fast path: when
+// topoClean is set the caller asserts the problem's link set, capacities and
+// node count are bit-identical to the graph's previous rebuild, and the R1
+// side (edge list, capacity features, degree features) is kept as-is while
+// the traffic-dependent side (R2/R3, path and traffic nodes) is rebuilt. The
+// returned bool reports whether the skip was actually taken — it is false
+// when the retained shapes do not match the problem (e.g. a first build),
+// in which case a full rebuild was performed instead.
 //
 //lint:ignore hotpath-no-alloc builds by appending into retained high-water capacity; allocation-free once warm (TestSolveObsAddsZeroAllocs pins it)
-func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
+func buildTEGraphInto(g *TEGraph, p *te.Problem, topoClean bool) (*TEGraph, bool) {
 	if g == nil {
 		g = &TEGraph{}
 	}
+	topoClean = topoClean && g.NumSats == p.NumNodes &&
+		len(g.R1Feat) == 2*len(p.Links) && len(g.SatFeat) == p.NumNodes
 	g.NumSats = p.NumNodes
 	g.NumPaths = 0
 	g.NumTraffic = 0
@@ -134,8 +149,10 @@ func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
 		}
 		nPaths += len(p.Flows[fi].Paths)
 	}
-	g.R1 = gnn.EdgeList{Src: reuseInts(g.R1.Src, nR1), Dst: reuseInts(g.R1.Dst, nR1)}
-	g.R1Feat = reuseFloats(g.R1Feat, nR1)
+	if !topoClean {
+		g.R1 = gnn.EdgeList{Src: reuseInts(g.R1.Src, nR1), Dst: reuseInts(g.R1.Dst, nR1)}
+		g.R1Feat = reuseFloats(g.R1Feat, nR1)
+	}
 	g.TrafficFeat = reuseFloats(g.TrafficFeat, len(p.Flows))
 	g.PathFeat = reuseFloats(g.PathFeat, nPaths)
 	g.VarFlow = reuseInts(g.VarFlow, nPaths)
@@ -160,20 +177,23 @@ func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
 
 	// R1: satellite interconnection, both directions, capacity feature.
 	// Degrees accumulate directly into SatFeat (exact small integers), then
-	// scale in place — same values as a separate degree pass.
-	g.SatFeat = reuseFloats(g.SatFeat, p.NumNodes)[:p.NumNodes]
-	clear(g.SatFeat)
-	for li, l := range p.Links {
-		a, b := int(l.A), int(l.B)
-		cap := p.LinkCap[li] * featCapacityScale
-		g.R1.Src = append(g.R1.Src, a, b)
-		g.R1.Dst = append(g.R1.Dst, b, a)
-		g.R1Feat = append(g.R1Feat, cap, cap)
-		g.SatFeat[a]++
-		g.SatFeat[b]++
-	}
-	for i, d := range g.SatFeat {
-		g.SatFeat[i] = d * featDegreeScale
+	// scale in place — same values as a separate degree pass. A topo-clean
+	// rebuild keeps the previous cycle's R1 side untouched.
+	if !topoClean {
+		g.SatFeat = reuseFloats(g.SatFeat, p.NumNodes)[:p.NumNodes]
+		clear(g.SatFeat)
+		for li, l := range p.Links {
+			a, b := int(l.A), int(l.B)
+			cap := p.LinkCap[li] * featCapacityScale
+			g.R1.Src = append(g.R1.Src, a, b)
+			g.R1.Dst = append(g.R1.Dst, b, a)
+			g.R1Feat = append(g.R1Feat, cap, cap)
+			g.SatFeat[a]++
+			g.SatFeat[b]++
+		}
+		for i, d := range g.SatFeat {
+			g.SatFeat[i] = d * featDegreeScale
+		}
 	}
 
 	// Path and traffic nodes; R2 and R3.
@@ -217,7 +237,7 @@ func BuildTEGraphInto(g *TEGraph, p *te.Problem) *TEGraph {
 	}
 	g.R2FeatU, g.R2FeatIx = dedupFeat(g.featSeen, g.R2FeatU, g.R2FeatIx, g.R2Feat)
 	g.R3FeatU, g.R3FeatIx = dedupFeat(g.featSeen, g.R3FeatU, g.R3FeatIx, g.R3Feat)
-	return g
+	return g, topoClean
 }
 
 // dedupFeat rebuilds the (unique values, per-element index) view of feat into

@@ -30,18 +30,44 @@ type CycleState struct {
 	model *Model
 	g     *TEGraph
 
+	// topoClean is the caller's dirty-shard hint (SetTopoClean): the next
+	// solve may keep the graph's R1 side and its input fingerprint instead of
+	// rebuilding and rehashing them.
+	topoClean bool
+
+	r1Hits, r1Misses uint64
+
 	r1f64 r1Cache[float64]
 	r1f32 r1Cache[float32]
 }
 
+// SetTopoClean installs the caller's assertion that the next solve's problem
+// has a bit-identical link set, link capacities and node count to the
+// previous solve through this state (traffic may differ freely). Under the
+// hint the solve skips rebuilding the R1 side of the TE graph and skips
+// rehashing the R1 input fingerprint — the per-shard dirty-set fast path of
+// the sharded solver. The hint persists until changed; it is ignored (and a
+// full rebuild performed) whenever the retained graph's shapes do not match
+// the problem. A wrong assertion trades correctness for speed: the solver
+// would replay R1 embeddings of the stale topology.
+func (cs *CycleState) SetTopoClean(clean bool) { cs.topoClean = clean }
+
+// R1Stats reports how many solves through this state replayed the cached
+// post-R1 embeddings (hits) versus recomputed them (misses). The warm-hit
+// ratio hits/(hits+misses) is the temporal-coherence yield of a replay loop.
+func (cs *CycleState) R1Stats() (hits, misses uint64) { return cs.r1Hits, cs.r1Misses }
+
 // r1Cache holds one dtype's cached post-R1 satellite embeddings. want is the
 // fingerprint of the current cycle's R1 inputs (set by the solve entry
 // before the forward pass); key is the fingerprint the cached out tensor was
-// computed from.
+// computed from. wantGen/haveWant record the weight generation want was
+// hashed at, so a topo-clean solve can keep want without rehashing.
 type r1Cache[T autodiff.Float] struct {
-	want uint64
-	key  uint64
-	out  *autodiff.TensorOf[T]
+	want     uint64
+	wantGen  uint64
+	haveWant bool
+	key      uint64
+	out      *autodiff.TensorOf[T]
 }
 
 // store retains a copy of the post-R1 embeddings for the next cycle,

@@ -63,6 +63,7 @@ var wallclockDeny = map[string]bool{
 	"internal/solve":      true,
 	"internal/rules":      true,
 	"internal/core":       true,
+	"internal/shard":      true,
 	"internal/sim":        true,
 }
 

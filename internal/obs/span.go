@@ -13,6 +13,9 @@ const (
 	PhaseLPSolve        = "lp_solve"        // simplex / GK reference solve
 	PhaseDecode         = "decode"          // score/gate decoding + trim
 	PhaseRuleCompile    = "rule_compile"    // per-satellite rule compilation
+	PhaseShardPartition = "shard_partition" // shard link/flow classification + dirty diff
+	PhaseShardSolve     = "shard_solve"     // concurrent per-shard sub-solves
+	PhaseShardStitch    = "shard_stitch"    // boundary-flow residual reconciliation
 )
 
 // spanSeconds is the histogram family every span records into, partitioned

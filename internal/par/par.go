@@ -177,6 +177,29 @@ func forCtxParallel[T any](n, grain, chunks, workers int, ctx T, fn func(ctx T, 
 	wg.Wait()
 }
 
+// ForErr is For for fallible kernels: fn may return an error per chunk, and
+// ForErr returns the error of the lowest-indexed failing chunk (or nil). The
+// chunk layout is fixed by (n, grain), every chunk runs regardless of other
+// chunks' failures, and the winning error is selected by chunk index — so the
+// returned error is deterministic for every worker count, unlike a
+// first-to-fail race.
+func ForErr(n, grain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	g := max(grain, 1)
+	errs := make([]error, numChunks(n, g))
+	ForChunks(n, g, func(chunk, lo, hi int) {
+		errs[chunk] = fn(lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ForChunks is For with the chunk index exposed: fn(chunk, lo, hi) may
 // accumulate into a per-chunk partial (indexed by chunk, allocated via
 // NumChunks) which the caller merges serially in chunk order afterwards.

@@ -81,6 +81,21 @@ func (p Path) ValidIn(links map[uint64]topology.Link) bool {
 // linkKey mirrors topology.Link's canonical pair encoding.
 func linkKey(l topology.Link) uint64 { return uint64(l.A)<<32 | uint64(uint32(l.B)) }
 
+// WithinRange reports whether every node of the path lies in [lo, hi). The
+// sharded solver uses it to classify a flow as shard-internal: a flow whose
+// candidate paths all stay inside one shard's node range never touches
+// another shard's links, so it can be solved inside that shard alone.
+//
+//sate:hotpath per-flow shard classification, every path each TE cycle
+func (p Path) WithinRange(lo, hi topology.NodeID) bool {
+	for _, n := range p.Nodes {
+		if n < lo || n >= hi {
+			return false
+		}
+	}
+	return true
+}
+
 // LengthKm returns the geometric length of the path in a snapshot.
 func (p Path) LengthKm(s *topology.Snapshot) float64 {
 	var d float64

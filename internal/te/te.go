@@ -52,7 +52,43 @@ func (p *Problem) Finalize() error {
 	for i, l := range p.Links {
 		p.linkIndex[linkKey(l)] = i
 	}
-	p.pathLinks = make([][][]int, len(p.Flows))
+	p.bindFlows()
+	return nil
+}
+
+// RebindFlows rebuilds only the flow-side derived state — path filtering and
+// the path-link incidence — against the problem's existing link index. It is
+// the incremental half of Finalize for replay loops that swap Flows every
+// cycle while Links and LinkCap hold still (e.g. a clean shard of the sharded
+// solver): the caller asserts the link set is unchanged since the last
+// Finalize, and the O(links) index rebuild is skipped. A problem that was
+// never finalized falls back to the full Finalize.
+//
+//sate:hotpath clean-shard per-cycle refresh in the sharded solver
+func (p *Problem) RebindFlows() error {
+	if p.linkIndex == nil {
+		//lint:ignore hotpath-no-alloc first-bind fallback: a never-finalized problem pays the full Finalize once
+		return p.Finalize()
+	}
+	if len(p.Links) != len(p.LinkCap) {
+		//lint:ignore hotpath-no-alloc error path: a malformed problem aborts the cycle
+		return fmt.Errorf("te: %d links but %d capacities", len(p.Links), len(p.LinkCap))
+	}
+	p.bindFlows()
+	return nil
+}
+
+// bindFlows filters each flow's paths against the link index and records the
+// per-path link incidence. The outer pathLinks slice is reused at high-water
+// capacity across rebinds.
+//
+//lint:ignore hotpath-no-alloc per-path incidence slices are rebuilt per cycle by contract (proportional to live flows); the outer slice reuses retained capacity
+func (p *Problem) bindFlows() {
+	if cap(p.pathLinks) >= len(p.Flows) {
+		p.pathLinks = p.pathLinks[:len(p.Flows)]
+	} else {
+		p.pathLinks = make([][][]int, len(p.Flows))
+	}
 	for fi := range p.Flows {
 		f := &p.Flows[fi]
 		kept := f.Paths[:0]
@@ -77,7 +113,6 @@ func (p *Problem) Finalize() error {
 		f.Paths = kept
 		p.pathLinks[fi] = pls
 	}
-	return nil
 }
 
 // LinkSet returns the problem's links as a kind-agnostic membership set —

@@ -1,0 +1,49 @@
+package topology
+
+// PartitionNodes splits the node universe [0, n) into k contiguous ranges of
+// near-equal size and returns the k+1 range bounds: shard i owns nodes
+// [bounds[i], bounds[i+1]).
+//
+// Contiguous NodeID ranges are the natural shard key for satellite TE:
+// satellite IDs are assigned shell-major, then plane-major (see
+// constellation.New), so a contiguous range is a band of whole orbital planes
+// within a shell — a geographic region of the constellation. Ground relays
+// occupy the ID tail and land in the last ranges the same way.
+func PartitionNodes(n, k int) []NodeID {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = max(n, 1)
+	}
+	bounds := make([]NodeID, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = NodeID(i * n / k)
+	}
+	return bounds
+}
+
+// ShardOfNode returns the index of the range containing node, for bounds
+// produced by PartitionNodes. The uniform layout makes the lookup O(1): the
+// arithmetic guess is exact or off by at most one bound due to rounding.
+func ShardOfNode(bounds []NodeID, node NodeID) int {
+	k := len(bounds) - 1
+	if k <= 0 {
+		return 0
+	}
+	n := int(bounds[k])
+	if n == 0 {
+		return 0
+	}
+	s := int(node) * k / n
+	if s >= k {
+		s = k - 1
+	}
+	for s > 0 && node < bounds[s] {
+		s--
+	}
+	for s < k-1 && node >= bounds[s+1] {
+		s++
+	}
+	return s
+}

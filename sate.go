@@ -29,6 +29,7 @@ import (
 	"sate/internal/core"
 	"sate/internal/experiments"
 	"sate/internal/obs"
+	"sate/internal/shard"
 	"sate/internal/sim"
 	"sate/internal/solve"
 	"sate/internal/te"
@@ -112,6 +113,9 @@ var (
 	// WithWarm threads a *CycleState through the solver so consecutive
 	// low-churn cycles reuse topology-derived work (DESIGN.md §11).
 	WithWarm = solve.WithWarm
+	// WithShards overrides the shard count of a decomposition-capable
+	// solver (see Sharded and DESIGN.md §13); other solvers ignore it.
+	WithShards = solve.WithShards
 )
 
 // Solve runs any allocator through the unified option-aware entry point:
@@ -218,6 +222,17 @@ func Train(s *Scenario, opt TrainOptions) (*Model, error) {
 	}
 	return m, nil
 }
+
+// ShardedSolver decomposes TE problems into regional subproblems solved
+// concurrently by an inner solver, with boundary-flow reconciliation and
+// incremental per-cycle reuse (DESIGN.md §13).
+type ShardedSolver = shard.Solver
+
+// Sharded wraps any solver in the regional decomposition: subproblems solve
+// concurrently, cut-crossing flows reconcile against residual capacities,
+// and per-shard warm state carries across cycles. k <= 0 picks the default
+// shard count; WithShards overrides it per call, and 1 is monolithic.
+func Sharded(inner shard.Inner, k int) *ShardedSolver { return shard.New(inner, k) }
 
 // Solvers gives access to the paper's baselines as ready-to-use allocators.
 func Solvers() map[string]Allocator {

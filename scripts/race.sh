@@ -8,5 +8,6 @@ go test -race \
 	./internal/par/... \
 	./internal/autodiff/... \
 	./internal/paths/... \
+	./internal/shard/... \
 	./internal/topology/... \
 	./internal/te/...
