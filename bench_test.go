@@ -6,16 +6,24 @@ package sate
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"sate/internal/baselines"
 	"sate/internal/constellation"
+	"sate/internal/controller"
 	"sate/internal/core"
 	"sate/internal/experiments"
 	"sate/internal/graphembed"
 	"sate/internal/paths"
+	"sate/internal/ruledist"
 	"sate/internal/rules"
 	"sate/internal/shard"
 	"sate/internal/sim"
@@ -446,6 +454,151 @@ func BenchmarkSnapshotSerialization(b *testing.B) {
 		}
 		if _, err := topology.ReadSnapshot(&buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Serving-path benchmarks (DESIGN.md §14): the copy-on-publish snapshot
+// surface must sustain high read QPS with sub-millisecond tails while
+// recomputes publish fresh versions underneath.
+
+// nullResponseWriter swallows the body so the benchmark measures the
+// handler, not response buffering.
+type nullResponseWriter struct {
+	hdr    http.Header
+	status int
+	bytes  int64
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.hdr }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.bytes += int64(len(p))
+	return len(p), nil
+}
+func (w *nullResponseWriter) WriteHeader(code int) { w.status = code }
+
+func benchServingController(b *testing.B) *controller.Server {
+	b.Helper()
+	scen := sim.NewScenario(constellation.Toy(6, 8), sim.ScenarioConfig{
+		Mode:         topology.CrossShellLasers,
+		Intensity:    60,
+		Seed:         7,
+		Users:        2000,
+		UserClusters: 60,
+		Gateways:     8,
+		Relays:       4,
+		MinElevDeg:   5,
+	})
+	srv := controller.New(scen, baselines.ECMPWF{})
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// BenchmarkServeSnapshot hammers GET /v1/status through the real handler
+// while a background publisher keeps swapping snapshots. Reported metrics:
+// sustained req/s and p50/p99 per-request latency in milliseconds.
+func BenchmarkServeSnapshot(b *testing.B) {
+	srv := benchServingController(b)
+	h := srv.Handler()
+
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		t := 100.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t += 5
+			if err := srv.RecomputeContext(context.Background(), t); err != nil {
+				b.Error(err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var mu sync.Mutex
+	var lats []int64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/status", nil)
+		w := &nullResponseWriter{hdr: make(http.Header, 4)}
+		local := make([]int64, 0, 4096)
+		for pb.Next() {
+			t0 := time.Now()
+			w.status = 0
+			h.ServeHTTP(w, req)
+			local = append(local, time.Since(t0).Nanoseconds())
+			if w.status != http.StatusOK {
+				b.Errorf("status = %d", w.status)
+				return
+			}
+		}
+		mu.Lock()
+		lats = append(lats, local...)
+		mu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	close(stop)
+	pubWG.Wait()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(lats[len(lats)*50/100])/1e6, "p50-ms")
+	b.ReportMetric(float64(lats[len(lats)*99/100])/1e6, "p99-ms")
+}
+
+// BenchmarkDeltaCatchup measures a rule consumer reconstructing the latest
+// RuleSet from a stale version via the changelog: Since() + Apply() per
+// retained delta, rotating across every possible staleness depth.
+func BenchmarkDeltaCatchup(b *testing.B) {
+	srv := benchServingController(b)
+	const cycles = 8
+	for i := 1; i < cycles; i++ {
+		if err := srv.RecomputeContext(context.Background(), 100+5*float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	log := srv.Changelog()
+	latest := log.Latest()
+	// A consumer at version v holds the rules of version v; reconstruct the
+	// held states once so each iteration only pays the catch-up itself.
+	held := make([]*rules.RuleSet, latest+1)
+	held[0] = &rules.RuleSet{}
+	cur := &rules.RuleSet{}
+	for v := uint64(1); v <= latest; v++ {
+		cu := log.Since(v - 1)
+		if cu.FullSync {
+			b.Fatalf("version %d already compacted out; raise history", v-1)
+		}
+		cur = ruledist.Apply(cur, cu.Deltas[0])
+		held[v] = cur
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		since := uint64(i) % latest // every staleness depth, round-robin
+		cu := log.Since(since)
+		got := held[since]
+		for _, d := range cu.Deltas {
+			got = ruledist.Apply(got, d)
+		}
+		if got.NumRules() != held[latest].NumRules() {
+			b.Fatalf("catch-up from %d diverged", since)
 		}
 	}
 }

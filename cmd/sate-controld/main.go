@@ -6,11 +6,16 @@
 // Usage:
 //
 //	sate-controld -cons iridium -method ecmp-wf -listen :8080 -interval 5
-//	curl localhost:8080/status
-//	curl localhost:8080/rules?node=12
+//	curl localhost:8080/v1/status
+//	curl localhost:8080/v1/rules?node=12
+//	curl localhost:8080/v1/deltas?since=0
 //	curl localhost:8080/metrics
 //	curl -X POST -d '{"time_sec": 300}' localhost:8080/recompute
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
+// The versioned surface lives under /v1/ (DESIGN.md §14); the unversioned
+// paths remain as aliases. GETs serve the published snapshot's cached bytes
+// with its version as ETag, so pollers holding If-None-Match get 304s.
 package main
 
 import (
@@ -50,6 +55,9 @@ func main() {
 		dtype     = flag.String("dtype", "float64", "inference precision for -method sate: float64 | float32")
 		warmStart = flag.Bool("warm", false, "for -method sate: warm-start each cycle from the previous one")
 		shards    = flag.Int("shards", 1, "split each solve into this many regional subproblems with boundary reconciliation (1 = monolithic)")
+
+		deltaHistory   = flag.Int("delta-history", 0, "rule-delta changelog retention, versions (0 = default 64); clients further behind get a full sync")
+		recomputeQueue = flag.Int("recompute-queue", 0, "max queued /recompute requests coalescing into the next solve (0 = default 64); beyond it requests get 429")
 
 		cycleTimeout  = flag.Float64("cycle-timeout", 0, "per-cycle timeout, seconds (0 = 10x interval, negative disables)")
 		retryBase     = flag.Float64("retry-base", 0, "initial retry backoff after a failed cycle, seconds (0 = interval/4)")
@@ -111,6 +119,12 @@ func main() {
 	defer cancel()
 
 	ctlOpts := []controller.Option{controller.WithRegistry(reg)}
+	if *deltaHistory > 0 {
+		ctlOpts = append(ctlOpts, controller.WithDeltaHistory(*deltaHistory))
+	}
+	if *recomputeQueue > 0 {
+		ctlOpts = append(ctlOpts, controller.WithRecomputeQueue(*recomputeQueue))
+	}
 	var solverOpts []solve.Option
 	switch *dtype {
 	case "float64":
@@ -149,7 +163,7 @@ func main() {
 	if *chaosFailFrac > 0 {
 		fmt.Printf("chaos mode: failing %.1f%% of links per cycle (seed %d)\n", 100**chaosFailFrac, *chaosSeed)
 	}
-	fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", *listen, *listen)
+	fmt.Printf("API on http://%s/v1/{status,allocation,rules,deltas}, metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", *listen, *listen, *listen)
 
 	select {
 	case err := <-errc:

@@ -5,6 +5,17 @@
 // allocations and flow tables over JSON — the interface satellites (or an
 // operator) would poll in the SDN workflow of Sec. 2.2.
 //
+// The serving side is built for high QPS (DESIGN.md §14): every publish
+// produces an immutable Snapshot with pre-encoded JSON bodies, swapped in
+// through one atomic pointer, so read endpoints take zero locks and perform
+// zero allocations. The HTTP surface is versioned under /v1/ (/v1/status,
+// /v1/allocation, /v1/rules, /v1/deltas) with the pre-redesign paths kept
+// as aliases; snapshot versions double as strong ETags so pollers sending
+// If-None-Match get cheap 304s. Rule updates for satellites are served as a
+// sequence-numbered delta changelog (internal/ruledist) on /v1/deltas, and
+// POST /recompute is admission-controlled: concurrent requests coalesce
+// into one solve and a full pending batch is answered 429 + Retry-After.
+//
 // With a registry attached (WithRegistry), the server also exposes
 // Prometheus-text metrics on GET /metrics and the standard pprof profiles
 // under /debug/pprof/ (DESIGN.md §9). Neither endpoint spawns goroutines:
@@ -23,10 +34,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sate/internal/obs"
+	"sate/internal/ruledist"
 	"sate/internal/rules"
 	"sate/internal/sim"
 	"sate/internal/solve"
@@ -43,18 +57,34 @@ type Server struct {
 	metrics    srvObs
 	solverOpts []solve.Option // pre-built so Recompute passes opts without allocating
 
+	deltaHistory int // changelog window before compaction (WithDeltaHistory)
+	maxQueue     int // pending /recompute batch bound (WithRecomputeQueue)
+
 	// computeMu serializes whole TE cycles: the scenario (traffic process,
 	// path DB) is single-writer state, and two racing /recompute requests
-	// must not interleave phases. Publication order is additionally guarded
-	// by the monotonic-time check in publish.
+	// must not interleave phases. Everything below it is written only with
+	// computeMu held.
 	computeMu sync.Mutex
+	// deg is the current failure streak; a copy travels inside every
+	// published snapshot so readers never touch this field.
+	deg degradedInfo
+	// fb lazily re-scores the live snapshot's allocation against failed
+	// cycles' topologies; reset on every good publish.
+	fb *sim.Fallback
 
-	mu    sync.Mutex
-	state *cycleState
-	deg   degradedInfo
+	// snap is the live published snapshot: single writer (under computeMu),
+	// lock-free readers. nil until the first successful cycle.
+	snap atomic.Pointer[Snapshot]
+	// log is the rule-delta changelog behind /v1/deltas; appends happen on
+	// the publish path, reads are lock-free.
+	log *ruledist.Changelog
+
+	// gate is the /recompute admission-control state (admission.go).
+	gate recomputeGate
 }
 
-// degradedInfo is the controller's failure-mode state, guarded by Server.mu.
+// degradedInfo is the controller's failure-mode state. The authoritative
+// copy lives on Server (computeMu); published snapshots carry a value copy.
 type degradedInfo struct {
 	// Failures counts consecutive failed cycles; 0 means healthy.
 	Failures int
@@ -101,6 +131,22 @@ type srvObs struct {
 	skippedTotal   *obs.Counter
 	canceledTotal  *obs.Counter
 	monotonicDrops *obs.Counter
+
+	// Serving-layer metrics (DESIGN.md §14). publishes counts snapshot
+	// swaps (good cycles and degraded re-publishes); snapVersion /
+	// rulesVersionG export the live versions; http304 counts conditional
+	// polls answered 304; coalesced counts /recompute requests that shared
+	// a batched solve; rejected counts 429s from the full pending batch;
+	// deltasReqs / fullSyncs count /v1/deltas traffic and how often a
+	// client was behind the compaction window.
+	publishes     *obs.Counter
+	snapVersion   *obs.Gauge
+	rulesVersionG *obs.Gauge
+	http304       *obs.Counter
+	coalesced     *obs.Counter
+	rejected      *obs.Counter
+	deltasReqs    *obs.Counter
+	fullSyncs     *obs.Counter
 }
 
 func newSrvObs(reg *obs.Registry) srvObs {
@@ -125,21 +171,16 @@ func newSrvObs(reg *obs.Registry) srvObs {
 		skippedTotal:   reg.Counter("sate_controld_skipped_cycles_total"),
 		canceledTotal:  reg.Counter("sate_controld_canceled_cycles_total"),
 		monotonicDrops: reg.Counter("sate_controld_nonmonotonic_drops_total"),
+
+		publishes:     reg.Counter("sate_controld_snapshot_publishes_total"),
+		snapVersion:   reg.Gauge("sate_controld_snapshot_version"),
+		rulesVersionG: reg.Gauge("sate_controld_rules_version"),
+		http304:       reg.Counter("sate_controld_http_304_total"),
+		coalesced:     reg.Counter("sate_controld_recompute_coalesced_total"),
+		rejected:      reg.Counter("sate_controld_recompute_rejected_total"),
+		deltasReqs:    reg.Counter("sate_controld_deltas_requests_total"),
+		fullSyncs:     reg.Counter("sate_controld_delta_full_syncs_total"),
 	}
-}
-
-// cycleState is the outcome of one TE workflow cycle.
-type cycleState struct {
-	TimeSec      float64
-	Problem      *te.Problem
-	Alloc        *te.Allocation
-	Rules        *rules.RuleSet
-	SolveLatency time.Duration
-	ComputedAt   time.Time
-
-	// fb re-scores this allocation against later topologies; built lazily on
-	// the first failed cycle so the healthy steady state pays nothing.
-	fb *sim.Fallback
 }
 
 // Option configures a Server at construction.
@@ -162,6 +203,21 @@ func WithSolverOptions(opts ...solve.Option) Option {
 	return func(s *Server) { s.solverOpts = append(s.solverOpts, opts...) }
 }
 
+// WithDeltaHistory sets how many rule-set versions the delta changelog
+// retains before compaction (<= 0 selects ruledist.DefaultHistory). A
+// client polling /v1/deltas from a version behind the window gets a full
+// resync instead of deltas.
+func WithDeltaHistory(n int) Option {
+	return func(s *Server) { s.deltaHistory = n }
+}
+
+// WithRecomputeQueue bounds how many POST /recompute requests may wait in
+// the pending coalescing batch behind an in-flight solve; further arrivals
+// get 429 + Retry-After (<= 0 selects DefaultRecomputeQueue).
+func WithRecomputeQueue(n int) Option {
+	return func(s *Server) { s.maxQueue = n }
+}
+
 // New creates a controller over a scenario with the given solver. The
 // variadic options keep pre-redesign `New(scen, solver)` call sites
 // compiling unchanged.
@@ -170,12 +226,20 @@ func New(scen *sim.Scenario, solver sim.Allocator, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.maxQueue <= 0 {
+		s.maxQueue = DefaultRecomputeQueue
+	}
+	s.log = ruledist.NewChangelog(s.deltaHistory)
 	s.metrics = newSrvObs(s.registry)
 	if s.registry != nil {
 		s.solverOpts = append([]solve.Option{solve.WithRegistry(s.registry)}, s.solverOpts...)
 	}
 	return s
 }
+
+// Changelog exposes the rule-delta changelog (for harnesses and tests that
+// replay catch-up client-side).
+func (s *Server) Changelog() *ruledist.Changelog { return s.log }
 
 // Registry returns the attached observability registry (nil if none).
 func (s *Server) Registry() *obs.Registry { return s.registry }
@@ -279,21 +343,14 @@ func (s *Server) cycleLocked(ctx context.Context, tSec, failFrac float64, chaos 
 	cycle.End()
 	m.cyclesTotal.Inc()
 
-	// Publish under the monotonic-time guard: a slower cycle that started
-	// earlier but computed an OLDER simulated time must not overwrite newer
-	// published state (or its gauges).
-	s.mu.Lock()
-	if s.state != nil && tSec < s.state.TimeSec {
-		s.mu.Unlock()
+	// Publish (snapshot.go): copy-on-publish under the monotonic-time guard
+	// — a slower cycle that started earlier but computed an OLDER simulated
+	// time must not overwrite newer published state (or its gauges).
+	if !s.publish(tSec, p, alloc, rs, lat) {
 		m.monotonicDrops.Inc()
 		return p, nil
 	}
-	s.state = &cycleState{
-		TimeSec: tSec, Problem: p, Alloc: alloc, Rules: rs,
-		SolveLatency: lat, ComputedAt: time.Now(),
-	}
 	s.deg = degradedInfo{}
-	s.mu.Unlock()
 
 	m.degraded.Set(0)
 	m.consecFails.Set(0)
@@ -314,32 +371,31 @@ func (s *Server) cycleLocked(ctx context.Context, tSec, failFrac float64, chaos 
 // streak, and when the failed cycle got far enough to produce a topology it
 // re-scores the last good allocation against that topology so /status and
 // the satisfied-ratio gauge report what the stale rules can actually deliver
-// (sim.Fallback, DESIGN.md §10).
+// (sim.Fallback, DESIGN.md §10). The updated degraded info is re-published
+// as a new snapshot version so conditional pollers observe the transition.
+// Called with computeMu held.
 func (s *Server) markDegraded(cause error, cur *te.Problem) {
 	m := &s.metrics
-	now := time.Now()
-	s.mu.Lock()
 	if s.deg.Failures == 0 {
-		s.deg.Since = now
+		s.deg.Since = time.Now()
 	}
 	s.deg.Failures++
 	s.deg.LastError = cause.Error()
-	fails := s.deg.Failures
-	serving := s.state != nil
+	sn := s.snap.Load()
 	sat := math.NaN()
-	if cur != nil && s.state != nil {
-		if s.state.fb == nil {
-			s.state.fb = sim.NewFallback(s.state.Problem, s.state.Alloc)
+	if cur != nil && sn != nil {
+		if s.fb == nil {
+			s.fb = sim.NewFallback(sn.Problem, sn.Alloc)
 		}
-		sat = s.state.fb.Satisfied(cur, cur.LinkSet())
+		sat = s.fb.Satisfied(cur, cur.LinkSet())
 		s.deg.Satisfied = sat
 		s.deg.SatisfiedOK = true
 	}
-	s.mu.Unlock()
+	s.publishDegraded(s.deg)
 
 	m.degraded.Set(1)
-	m.consecFails.Set(float64(fails))
-	if serving {
+	m.consecFails.Set(float64(s.deg.Failures))
+	if sn != nil {
 		m.fallbackTotal.Inc()
 	}
 	if !math.IsNaN(sat) {
@@ -347,9 +403,12 @@ func (s *Server) markDegraded(cause error, cur *te.Problem) {
 	}
 }
 
-// Handler returns the HTTP routes. With a registry attached it additionally
-// serves GET /metrics (Prometheus text format 0.0.4) and the pprof profile
-// endpoints under /debug/pprof/.
+// Handler returns the HTTP routes: the versioned surface under /v1/
+// (/v1/status, /v1/allocation, /v1/rules, /v1/deltas, /v1/recompute) plus
+// the pre-redesign paths as aliases (legacy /rules keeps requiring ?node=;
+// /v1/rules without it returns the full table dump). With a registry
+// attached it additionally serves GET /metrics (Prometheus text format
+// 0.0.4) and the pprof profile endpoints under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -357,9 +416,15 @@ func (s *Server) Handler() http.Handler {
 		// A failed write to a health-check client is not actionable.
 		_, _ = fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
+	mux.HandleFunc("GET /v1/rules", s.handleRulesV1)
+	mux.HandleFunc("GET /v1/deltas", s.handleDeltas)
+	mux.HandleFunc("POST /v1/recompute", s.handleRecompute)
+	// Legacy aliases.
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /allocation", s.handleAllocation)
-	mux.HandleFunc("GET /rules", s.handleRules)
+	mux.HandleFunc("GET /rules", s.handleRulesLegacy)
 	mux.HandleFunc("POST /recompute", s.handleRecompute)
 	if s.registry != nil {
 		mux.Handle("GET /metrics", s.registry.Handler())
@@ -372,18 +437,45 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) snapshot() *cycleState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state
+// etagMatch reports whether an If-None-Match header value matches the
+// snapshot's strong ETag (`*`, or any listed tag, W/ prefixes tolerated).
+func etagMatch(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for header != "" {
+		tok := header
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			tok, header = header[:i], header[i+1:]
+		} else {
+			header = ""
+		}
+		tok = strings.TrimSpace(tok)
+		tok = strings.TrimPrefix(tok, "W/")
+		if tok == etag {
+			return true
+		}
+	}
+	return false
 }
 
-// health returns the published state together with the degraded info that
-// applies to it.
-func (s *Server) health() (*cycleState, degradedInfo) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state, s.deg
+// serveCached answers a read endpoint from a snapshot's pre-encoded body:
+// ETag always set, If-None-Match answered 304 without touching the body. A
+// short write is counted on sate_controld_encode_errors_total (the client
+// detects it via truncation; nothing else is actionable server-side).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, sn *Snapshot, body []byte) {
+	h := w.Header()
+	h.Set("ETag", sn.etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, sn.etag) {
+		s.metrics.http304.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		s.metrics.encodeErrors.Inc()
+	}
 }
 
 // writeJSON commits a 200 with an explicit status line before encoding. A
@@ -407,6 +499,8 @@ func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 // LastError / DegradedSinceUnix describe the failure streak.
 type StatusResponse struct {
 	Method          string  `json:"method"`
+	Version         uint64  `json:"version"`
+	RulesVersion    uint64  `json:"rules_version"`
 	TimeSec         float64 `json:"time_sec"`
 	Flows           int     `json:"flows"`
 	TotalDemandMbps float64 `json:"total_demand_mbps"`
@@ -423,35 +517,16 @@ type StatusResponse struct {
 	DegradedSinceUnix   int64  `json:"degraded_since_unix,omitempty"`
 }
 
+// handleStatus serves the cached status body of the live snapshot — the
+// pre-redesign handler re-marshalled the full payload on every poll; it is
+// now encoded once at publish time.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st, deg := s.health()
-	if st == nil {
+	sn := s.Current()
+	if sn == nil {
 		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
 		return
 	}
-	sat := st.Problem.SatisfiedDemand(st.Alloc)
-	resp := StatusResponse{
-		Method:          s.solver.Name(),
-		TimeSec:         st.TimeSec,
-		Flows:           len(st.Problem.Flows),
-		TotalDemandMbps: st.Problem.TotalDemand(),
-		ThroughputMbps:  st.Alloc.Throughput(),
-		SatisfiedFrac:   sat,
-		MLU:             st.Problem.MLU(st.Alloc),
-		SolveLatencyMs:  float64(st.SolveLatency.Nanoseconds()) / 1e6,
-		NumRules:        st.Rules.NumRules(),
-		ComputedAtUnix:  st.ComputedAt.Unix(),
-	}
-	if deg.Failures > 0 {
-		resp.Degraded = true
-		resp.ConsecutiveFailures = deg.Failures
-		resp.LastError = deg.LastError
-		resp.DegradedSinceUnix = deg.Since.Unix()
-		if deg.SatisfiedOK {
-			resp.SatisfiedFrac = deg.Satisfied
-		}
-	}
-	s.writeJSON(w, resp)
+	s.serveCached(w, r, sn, sn.statusJSON)
 }
 
 // AllocationEntry is one flow's allocation in the /allocation payload.
@@ -464,22 +539,12 @@ type AllocationEntry struct {
 }
 
 func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
-	st := s.snapshot()
-	if st == nil {
+	sn := s.Current()
+	if sn == nil {
 		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
 		return
 	}
-	out := make([]AllocationEntry, 0, len(st.Problem.Flows))
-	for fi, f := range st.Problem.Flows {
-		out = append(out, AllocationEntry{
-			Src:        int(f.Src),
-			Dst:        int(f.Dst),
-			DemandMbps: f.DemandMbps,
-			RateMbps:   st.Alloc.FlowThroughput(fi),
-			PerPath:    append([]float64(nil), st.Alloc.X[fi]...),
-		})
-	}
-	s.writeJSON(w, out)
+	s.serveCached(w, r, sn, sn.allocJSON)
 }
 
 // RuleEntry is one flow-table row in the /rules payload.
@@ -491,35 +556,120 @@ type RuleEntry struct {
 	RateMbps float64 `json:"rate_mbps"`
 }
 
-func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	st := s.snapshot()
-	if st == nil {
+// handleRulesV1 serves GET /v1/rules: without ?node= the full pre-encoded
+// table dump (RulesResponse), with ?node= one satellite's flow table.
+func (s *Server) handleRulesV1(w http.ResponseWriter, r *http.Request) {
+	sn := s.Current()
+	if sn == nil {
 		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
 		return
 	}
-	nodeStr := r.URL.Query().Get("node")
-	if nodeStr == "" {
+	if r.URL.Query().Get("node") == "" {
+		s.serveCached(w, r, sn, sn.rulesJSON)
+		return
+	}
+	s.serveNodeRules(w, r, sn)
+}
+
+// handleRulesLegacy serves the pre-redesign GET /rules contract, where
+// ?node=<id> is mandatory.
+func (s *Server) handleRulesLegacy(w http.ResponseWriter, r *http.Request) {
+	sn := s.Current()
+	if sn == nil {
+		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
+		return
+	}
+	if r.URL.Query().Get("node") == "" {
 		http.Error(w, "missing ?node=<id>", http.StatusBadRequest)
 		return
 	}
-	node, err := strconv.Atoi(nodeStr)
-	if err != nil || node < 0 || node >= st.Problem.NumNodes {
+	s.serveNodeRules(w, r, sn)
+}
+
+func (s *Server) serveNodeRules(w http.ResponseWriter, r *http.Request, sn *Snapshot) {
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil || node < 0 || node >= sn.Problem.NumNodes {
 		http.Error(w, "invalid node id", http.StatusBadRequest)
 		return
 	}
 	out := []RuleEntry{}
-	if tbl := st.Rules.Tables[topology.NodeID(node)]; tbl != nil {
-		for _, rule := range tbl.Rules {
-			out = append(out, RuleEntry{
-				Src:      int(rule.Flow.Src),
-				Dst:      int(rule.Flow.Dst),
-				Label:    rule.Label,
-				Next:     int(rule.Next),
-				RateMbps: rule.RateMbps,
-			})
-		}
+	if tbl := sn.Rules.Tables[topology.NodeID(node)]; tbl != nil {
+		out = ruleEntries(tbl)
 	}
+	w.Header().Set("ETag", sn.etag)
 	s.writeJSON(w, out)
+}
+
+// DeltasResponse is the GET /v1/deltas payload. Either Deltas carries the
+// versions Since+1 .. Latest to apply in order, or FullSync is set and Full
+// is the complete latest rule table dump (the client's version predates the
+// compaction window). An up-to-date client gets both empty.
+type DeltasResponse struct {
+	Since    uint64           `json:"since"`
+	Latest   uint64           `json:"latest"`
+	FullSync bool             `json:"full_sync,omitempty"`
+	Full     []NodeRules      `json:"full,omitempty"`
+	Deltas   []ruledist.Delta `json:"deltas,omitempty"`
+}
+
+// handleDeltas serves rule-update catch-up from the changelog:
+// GET /v1/deltas?since=N[&node=M]. With ?node= the deltas (or the full
+// sync) are filtered to one satellite's table; every delta keeps its
+// sequence number so the client's version tracking is uniform.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	s.metrics.deltasReqs.Inc()
+	if s.Current() == nil {
+		http.Error(w, "no allocation computed yet", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "invalid since version", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	node := -1
+	if v := q.Get("node"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "invalid node id", http.StatusBadRequest)
+			return
+		}
+		node = n
+	}
+	cu := s.log.Since(since)
+	resp := DeltasResponse{Since: cu.Since, Latest: cu.Latest}
+	switch {
+	case cu.FullSync:
+		s.metrics.fullSyncs.Inc()
+		resp.FullSync = true
+		resp.Full = rulesResponse(cu.Latest, cu.Full).Tables
+		if node >= 0 {
+			filtered := resp.Full[:0:0]
+			for _, nr := range resp.Full {
+				if nr.Node == node {
+					filtered = append(filtered, nr)
+				}
+			}
+			resp.Full = filtered
+		}
+	case node >= 0:
+		resp.Deltas = make([]ruledist.Delta, 0, len(cu.Deltas))
+		for _, d := range cu.Deltas {
+			fd := ruledist.Delta{Seq: d.Seq}
+			if nd, ok := d.Node(topology.NodeID(node)); ok {
+				fd.Nodes = []ruledist.NodeDelta{nd}
+			}
+			resp.Deltas = append(resp.Deltas, fd)
+		}
+	default:
+		resp.Deltas = cu.Deltas
+	}
+	s.writeJSON(w, resp)
 }
 
 // recomputeRequest is the /recompute body.
@@ -527,6 +677,10 @@ type recomputeRequest struct {
 	TimeSec float64 `json:"time_sec"`
 }
 
+// handleRecompute triggers a TE cycle through the admission gate
+// (admission.go): concurrent requests coalesce into one solve at the
+// newest requested time, and a full pending batch is answered 429 with a
+// Retry-After derived from the last solve latency.
 func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 	var req recomputeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -537,18 +691,39 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "time_sec must be non-negative", http.StatusBadRequest)
 		return
 	}
-	if err := s.RecomputeContext(r.Context(), req.TimeSec); err != nil {
+	coalesced, err := s.recomputeAdmit(r.Context(), req.TimeSec)
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			w.Header().Set("Retry-After", s.retryAfter())
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
 		if errors.Is(err, context.Canceled) {
-			// The client disconnected mid-cycle; that is not a server
-			// failure, so don't answer 500 (the write usually goes nowhere
-			// anyway). 499 is the de-facto "client closed request" status.
+			// The solve was abandoned by a cancellation the gate did not
+			// introduce (it detaches request contexts); surface the de-facto
+			// "client closed request" status rather than a server failure.
 			w.WriteHeader(499)
 			return
 		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if coalesced {
+		w.Header().Set("X-Sate-Coalesced", "1")
+	}
 	s.handleStatus(w, r)
+}
+
+// retryAfter sizes the 429 Retry-After hint from the last published solve
+// latency (at least 1 s).
+func (s *Server) retryAfter() string {
+	secs := int64(1)
+	if sn := s.Current(); sn != nil {
+		if d := int64(sn.SolveLatency/time.Second) + 1; d > secs {
+			secs = d
+		}
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // RunConfig parameterises the periodic TE workflow loop.

@@ -97,7 +97,7 @@ func TestDegradedCycleServesStaleAllocation(t *testing.T) {
 	flaky := &scriptedSolver{inner: baselines.ECMPWF{}, okFirst: 1, failFor: 3}
 	srv, ts, reg := chaosServer(t, flaky)
 
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	healthy, code := getStatus(t, ts.URL)
@@ -144,7 +144,7 @@ func TestDegradedCycleServesStaleAllocation(t *testing.T) {
 	}
 
 	// Recovery: the next cycle succeeds and clears the degraded state.
-	if err := srv.Recompute(120); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 120); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := getStatus(t, ts.URL)
@@ -346,7 +346,7 @@ func TestRunLoopSkippedCycles(t *testing.T) {
 	// interval per cycle behind: with a 25 ms solve and a 10 ms interval,
 	// cycle-counted time would lag wall-derived time by >= 2 intervals after
 	// five cycles.
-	st := srv.snapshot()
+	st := srv.Current()
 	if st == nil {
 		t.Fatal("no state published")
 	}

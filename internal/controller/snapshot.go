@@ -1,0 +1,249 @@
+package controller
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"time"
+
+	"sate/internal/rules"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// Snapshot is one immutable published controller state. Every publish —
+// a successful TE cycle or a degraded re-publish after a failed one —
+// builds a complete new Snapshot (JSON bodies pre-encoded, ETag included)
+// and swaps it in with one atomic pointer store. Readers load the pointer
+// and serve the cached bytes: zero locks, zero allocations, no sharing of
+// mutable state with the compute path (DESIGN.md §14).
+type Snapshot struct {
+	// Version numbers every publish, including degraded re-publishes; it is
+	// the ETag (`"v<Version>"`) served on every read endpoint.
+	Version uint64
+	// RulesVersion is the changelog sequence number of Rules. Only
+	// successful cycles advance it; /v1/deltas catch-up is relative to it.
+	RulesVersion uint64
+
+	TimeSec      float64
+	Problem      *te.Problem
+	Alloc        *te.Allocation
+	Rules        *rules.RuleSet
+	SolveLatency time.Duration
+	ComputedAt   time.Time
+
+	deg degradedInfo
+
+	statusJSON []byte
+	allocJSON  []byte
+	rulesJSON  []byte
+	etag       string
+}
+
+// Current returns the live published snapshot (nil before the first cycle).
+// The returned value is immutable and remains valid forever; later
+// publishes swap in a new pointer and never touch old snapshots.
+//
+//sate:hotpath every read endpoint starts here
+func (s *Server) Current() *Snapshot {
+	return s.snap.Load()
+}
+
+// ETag returns the strong entity tag of this snapshot, `"v<Version>"`.
+//
+//sate:hotpath
+func (sn *Snapshot) ETag() string { return sn.etag }
+
+// StatusBody returns the pre-encoded /v1/status JSON body.
+//
+//sate:hotpath
+func (sn *Snapshot) StatusBody() []byte { return sn.statusJSON }
+
+// AllocationBody returns the pre-encoded /v1/allocation JSON body.
+//
+//sate:hotpath
+func (sn *Snapshot) AllocationBody() []byte { return sn.allocJSON }
+
+// RulesBody returns the pre-encoded full /v1/rules JSON body.
+//
+//sate:hotpath
+func (sn *Snapshot) RulesBody() []byte { return sn.rulesJSON }
+
+// Degraded reports whether this snapshot serves a stale allocation after
+// one or more failed cycles.
+//
+//sate:hotpath
+func (sn *Snapshot) Degraded() bool { return sn.deg.Failures > 0 }
+
+// statusResponse assembles the status payload for this snapshot.
+func (sn *Snapshot) statusResponse(method string) StatusResponse {
+	resp := StatusResponse{
+		Method:          method,
+		Version:         sn.Version,
+		RulesVersion:    sn.RulesVersion,
+		TimeSec:         sn.TimeSec,
+		Flows:           len(sn.Problem.Flows),
+		TotalDemandMbps: sn.Problem.TotalDemand(),
+		ThroughputMbps:  sn.Alloc.Throughput(),
+		SatisfiedFrac:   sn.Problem.SatisfiedDemand(sn.Alloc),
+		MLU:             sn.Problem.MLU(sn.Alloc),
+		SolveLatencyMs:  float64(sn.SolveLatency.Nanoseconds()) / 1e6,
+		NumRules:        sn.Rules.NumRules(),
+		ComputedAtUnix:  sn.ComputedAt.Unix(),
+	}
+	if sn.deg.Failures > 0 {
+		resp.Degraded = true
+		resp.ConsecutiveFailures = sn.deg.Failures
+		resp.LastError = sn.deg.LastError
+		resp.DegradedSinceUnix = sn.deg.Since.Unix()
+		if sn.deg.SatisfiedOK {
+			resp.SatisfiedFrac = sn.deg.Satisfied
+		}
+	}
+	return resp
+}
+
+// mustJSON marshals v with a trailing newline (matching the json.Encoder
+// framing the pre-redesign handlers produced). The payload types contain
+// only marshalable fields, so an error is a programming bug; the fallback
+// keeps serving syntactically valid JSON rather than panicking the publish
+// path.
+func mustJSON(v interface{}) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"encode failed"}` + "\n")
+	}
+	return append(b, '\n')
+}
+
+// encodeStatus (re)builds the ETag and cached status body. Degraded
+// re-publishes call only this: the allocation and rules bodies are shared
+// byte-for-byte with the last good snapshot.
+func (sn *Snapshot) encodeStatus(method string) {
+	sn.etag = `"v` + strconv.FormatUint(sn.Version, 10) + `"`
+	sn.statusJSON = mustJSON(sn.statusResponse(method))
+}
+
+// encode pre-builds every cached body for a freshly computed snapshot.
+func (sn *Snapshot) encode(method string) {
+	sn.encodeStatus(method)
+	out := make([]AllocationEntry, 0, len(sn.Problem.Flows))
+	for fi, f := range sn.Problem.Flows {
+		out = append(out, AllocationEntry{
+			Src:        int(f.Src),
+			Dst:        int(f.Dst),
+			DemandMbps: f.DemandMbps,
+			RateMbps:   sn.Alloc.FlowThroughput(fi),
+			PerPath:    append([]float64(nil), sn.Alloc.X[fi]...),
+		})
+	}
+	sn.allocJSON = mustJSON(out)
+	sn.rulesJSON = mustJSON(rulesResponse(sn.RulesVersion, sn.Rules))
+}
+
+// NodeRules is one satellite's flow table in the full /v1/rules payload.
+type NodeRules struct {
+	Node  int         `json:"node"`
+	Rules []RuleEntry `json:"rules"`
+}
+
+// RulesResponse is the full-rule-set payload of GET /v1/rules (no ?node=):
+// every table, nodes ascending, rules in compiled (src, dst, label) order.
+// Applying /v1/deltas catch-up deltas client-side converges to exactly this
+// content (TestDeltaCatchup).
+type RulesResponse struct {
+	RulesVersion uint64      `json:"rules_version"`
+	Tables       []NodeRules `json:"tables"`
+}
+
+func ruleEntries(tbl *rules.Table) []RuleEntry {
+	out := make([]RuleEntry, 0, len(tbl.Rules))
+	for _, rule := range tbl.Rules {
+		out = append(out, RuleEntry{
+			Src:      int(rule.Flow.Src),
+			Dst:      int(rule.Flow.Dst),
+			Label:    rule.Label,
+			Next:     int(rule.Next),
+			RateMbps: rule.RateMbps,
+		})
+	}
+	return out
+}
+
+func rulesResponse(version uint64, rs *rules.RuleSet) RulesResponse {
+	ids := make([]topology.NodeID, 0, len(rs.Tables))
+	for id := range rs.Tables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	resp := RulesResponse{RulesVersion: version, Tables: make([]NodeRules, 0, len(ids))}
+	for _, id := range ids {
+		resp.Tables = append(resp.Tables, NodeRules{Node: int(id), Rules: ruleEntries(rs.Tables[id])})
+	}
+	return resp
+}
+
+// publish swaps in the snapshot of a successful cycle under the monotonic
+// guard: a slower cycle that computed an OLDER simulated time than the live
+// snapshot is dropped (counted on sate_controld_nonmonotonic_drops_total)
+// rather than rolling the served allocation backwards. Called with
+// computeMu held — the single writer of both the changelog and the pointer.
+func (s *Server) publish(tSec float64, p *te.Problem, alloc *te.Allocation, rs *rules.RuleSet, lat time.Duration) bool {
+	cur := s.snap.Load()
+	if cur != nil && tSec < cur.TimeSec {
+		return false
+	}
+	next := &Snapshot{
+		Version:      1,
+		RulesVersion: s.log.Append(rs),
+		TimeSec:      tSec,
+		Problem:      p,
+		Alloc:        alloc,
+		Rules:        rs,
+		SolveLatency: lat,
+		ComputedAt:   time.Now(),
+	}
+	if cur != nil {
+		next.Version = cur.Version + 1
+	}
+	next.encode(s.solver.Name())
+	s.snap.Store(next)
+	s.fb = nil // the fallback re-scorer belonged to the previous allocation
+
+	m := &s.metrics
+	m.publishes.Inc()
+	m.snapVersion.Set(float64(next.Version))
+	m.rulesVersionG.Set(float64(next.RulesVersion))
+	return true
+}
+
+// publishDegraded re-publishes the last good snapshot with updated degraded
+// info and a bumped version: pollers see the state change through the ETag
+// without the allocation/rules bodies being re-encoded (they are shared
+// with the previous snapshot). No-op before the first good cycle. Called
+// with computeMu held.
+func (s *Server) publishDegraded(deg degradedInfo) {
+	cur := s.snap.Load()
+	if cur == nil {
+		return
+	}
+	next := &Snapshot{
+		Version:      cur.Version + 1,
+		RulesVersion: cur.RulesVersion,
+		TimeSec:      cur.TimeSec,
+		Problem:      cur.Problem,
+		Alloc:        cur.Alloc,
+		Rules:        cur.Rules,
+		SolveLatency: cur.SolveLatency,
+		ComputedAt:   cur.ComputedAt,
+		deg:          deg,
+		allocJSON:    cur.allocJSON,
+		rulesJSON:    cur.rulesJSON,
+	}
+	next.encodeStatus(s.solver.Name())
+	s.snap.Store(next)
+
+	m := &s.metrics
+	m.publishes.Inc()
+	m.snapVersion.Set(float64(next.Version))
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"sate/internal/solve"
 	"sate/internal/te"
 )
 
@@ -24,7 +25,7 @@ func TestTrainMLUReducesLoss(t *testing.T) {
 func TestSolveMLUFeasibleAndRoutesDemand(t *testing.T) {
 	p := buildScenario(t, 0, 40, 53)
 	m := NewModel(DefaultConfig())
-	a, err := m.SolveMLU(p)
+	a, err := m.Solve(p, solve.WithObjective(solve.MLU))
 	if err != nil {
 		t.Fatal(err)
 	}

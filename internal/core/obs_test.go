@@ -94,6 +94,7 @@ func TestSolveMLUObjectiveRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore no-deprecated-call this test pins the wrapper's bitwise equivalence
 	viaWrapper, err := m.SolveMLU(p)
 	if err != nil {
 		t.Fatal(err)

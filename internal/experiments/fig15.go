@@ -93,8 +93,11 @@ func Fig15aMLU(opt Options) (*Report, error) {
 			return fmt.Sprintf("%.3f (%.0f%% routed)", mluSum/float64(n), 100*satSum/float64(n))
 		}
 		pop := &baselines.POP{K: 4, Seed: opt.Seed}
+		sateMLU := func(p *te.Problem, opts ...solve.Option) (*te.Allocation, error) {
+			return sate.Solve(p, append([]solve.Option{solve.WithObjective(solve.MLU)}, opts...)...)
+		}
 		r.AddRow(fmt.Sprintf("%.0f", intensity),
-			evalMLU(sate.SolveMLU),
+			evalMLU(sateMLU),
 			evalMLU(pop.Solve),
 			evalMLU(harp.Solve))
 	}

@@ -9,7 +9,7 @@ import (
 	"sate/internal/orbit"
 	"sate/internal/par"
 	"sate/internal/paths"
-	"sate/internal/sim"
+	"sate/internal/ruledist"
 	"sate/internal/topology"
 )
 
@@ -171,14 +171,14 @@ func Fig13RuleDistribution(opt Options) (*Report, error) {
 	cons := constellation.StarlinkPhase1() // cheap even in CI: one snapshot
 	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
 	snap := gen.Snapshot(0)
-	delays := sim.RuleDistributionDelays(snap, sim.HoustonSite, orbit.Deg(25))
+	delays := ruledist.RuleDistributionDelays(snap, ruledist.HoustonSite, orbit.Deg(25))
 	var finite []float64
 	for _, d := range delays {
 		if d < 10 {
 			finite = append(finite, d)
 		}
 	}
-	st := sim.SummarizeDelays(delays)
+	st := ruledist.SummarizeDelays(delays)
 	r := &Report{
 		ID:     "fig13",
 		Title:  "Rule-distribution propagation delay, Houston -> 4236 Starlink satellites",

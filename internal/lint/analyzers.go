@@ -21,6 +21,7 @@ func Analyzers() []*Analyzer {
 		hotpathNoAlloc,
 		mapOrderDeterminism,
 		ctxPropagation,
+		noDeprecatedCall,
 		unusedSuppression,
 	}
 }
@@ -65,6 +66,7 @@ var wallclockDeny = map[string]bool{
 	"internal/core":       true,
 	"internal/shard":      true,
 	"internal/sim":        true,
+	"internal/ruledist":   true,
 }
 
 // deterministicPkg is the set map-order-determinism enforces: the same

@@ -97,7 +97,11 @@ func (n *FuncNode) Sig() *types.Signature {
 
 // Program is the whole-module view shared by the call-graph analyzers.
 type Program struct {
+	// Files holds the non-test files the call graph is built over.
 	Files []*File
+	// All additionally includes test files, for program rules that scan
+	// every use site (no-deprecated-call) without widening the call graph.
+	All []*File
 	// Nodes lists every function in deterministic order (file, then
 	// position).
 	Nodes []*FuncNode
@@ -167,6 +171,7 @@ func BuildProgram(files []*File) *Program {
 		ByKey: map[string]*FuncNode{},
 		ByLit: map[*ast.FuncLit]*FuncNode{},
 	}
+	p.All = files
 	for _, f := range files {
 		if !f.IsTest {
 			p.Files = append(p.Files, f)

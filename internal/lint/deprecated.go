@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// no-deprecated-call pins the tree at zero references to in-module
+// functions whose doc comment carries a "Deprecated:" paragraph (the
+// standard Go convention). The wrappers themselves may stay for
+// out-of-tree callers, but nothing in this module — tests included — may
+// call them or capture them as values: the doc names the replacement.
+//
+// A deliberate exception (e.g. the test that pins a wrapper's behaviour)
+// carries an explicit //lint:ignore no-deprecated-call <reason> directive.
+var noDeprecatedCall = &Analyzer{
+	Name: "no-deprecated-call",
+	Doc: "in-module callers must use the replacement named in a deprecated " +
+		"function's doc comment, not the deprecated wrapper",
+	runProgram: runNoDeprecatedCall,
+}
+
+// isDeprecatedDoc reports the standard deprecation convention: a doc
+// paragraph line starting with "Deprecated:".
+func isDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoDeprecatedCall(p *Program, report func(f *File, n ast.Node, format string, args ...any)) {
+	// Pass 1: collect the deprecated in-module declarations (API lives in
+	// non-test files).
+	deprecated := map[string]string{} // funcKey -> display name
+	for _, f := range p.Files {
+		for _, d := range f.Ast.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !isDeprecatedDoc(fd.Doc) {
+				continue
+			}
+			obj, _ := f.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			deprecated[funcKey(obj)] = declName(f, fd)
+		}
+	}
+	if len(deprecated) == 0 {
+		return
+	}
+	// Pass 2: flag every use — call or captured value, tests included. The
+	// declaration itself is a Def, not a Use, so it is never flagged; the
+	// wrapper's body referencing the replacement is equally clean.
+	for _, f := range p.All {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := f.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if name, isDep := deprecated[funcKey(fn)]; isDep {
+				report(f, id, "use of deprecated %s; its doc comment names the replacement", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package lib
+
+// OldAdd is the pre-redesign spelling.
+//
+// Deprecated: use NewAdd instead.
+func OldAdd(a, b int) int { return NewAdd(a, b) }
+
+// NewAdd is the replacement API.
+func NewAdd(a, b int) int { return a + b }
+
+// oldHelper is deprecated without being exported.
+//
+// Deprecated: use NewAdd.
+func oldHelper() int { return 0 }
+
+// CallsDeprecated exercises the violations: a direct call and a captured
+// function value, each flagged once.
+func CallsDeprecated() int {
+	total := OldAdd(1, 2) // flagged: direct call
+	f := OldAdd           // flagged: captured as a value
+	total += f(3, 4)
+	total += oldHelper() // flagged: unexported deprecated callee
+	return total
+}
+
+// CallsReplacement is compliant: only the replacement is used, and the
+// pinned legacy behaviour carries a reasoned suppression.
+func CallsReplacement() int {
+	total := NewAdd(1, 2)
+	//lint:ignore no-deprecated-call pinning the legacy wrapper's behaviour
+	total += OldAdd(5, 6)
+	return total
+}

@@ -1,0 +1,213 @@
+package ruledist
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"sate/internal/rules"
+	"sate/internal/topology"
+)
+
+// mkRules builds a rule set from (node, src, dst, label, next, rate) tuples,
+// sorted per table exactly as rules.Compile would emit them.
+func mkRules(t *testing.T, entries ...[6]int) *rules.RuleSet {
+	t.Helper()
+	rs := &rules.RuleSet{Tables: make(map[topology.NodeID]*rules.Table)}
+	for _, e := range entries {
+		node := topology.NodeID(e[0])
+		tbl := rs.Tables[node]
+		if tbl == nil {
+			tbl = &rules.Table{Node: node}
+			rs.Tables[node] = tbl
+		}
+		tbl.Rules = append(tbl.Rules, rules.Rule{
+			Flow:     rules.FlowKey{Src: topology.NodeID(e[1]), Dst: topology.NodeID(e[2])},
+			Label:    e[3],
+			Next:     topology.NodeID(e[4]),
+			RateMbps: float64(e[5]),
+		})
+	}
+	for _, tbl := range rs.Tables {
+		sort.Slice(tbl.Rules, func(i, j int) bool {
+			return idLess(ruleID(tbl.Rules[i]), ruleID(tbl.Rules[j]))
+		})
+	}
+	return rs
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	old := mkRules(t,
+		[6]int{1, 10, 20, 0, 2, 100},
+		[6]int{1, 10, 21, 1, 3, 50},
+		[6]int{2, 10, 20, 0, 4, 100},
+	)
+	new := mkRules(t,
+		[6]int{1, 10, 20, 0, 2, 75}, // rate change
+		[6]int{1, 11, 20, 0, 5, 30}, // new rule, 10/21 removed
+		[6]int{3, 12, 20, 0, 6, 10}, // new table, table 2 dropped
+	)
+	d := Diff(old, new)
+	if d.Empty() {
+		t.Fatal("diff of different rule sets is empty")
+	}
+	got := Apply(old, d)
+	if !reflect.DeepEqual(got, new) {
+		t.Fatalf("apply(old, diff) = %+v, want %+v", got, new)
+	}
+	// Self-diff is empty; applying it is a no-op.
+	if d := Diff(new, new); !d.Empty() {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+	// From nil (version 0) the diff is all upserts.
+	d0 := Diff(nil, new)
+	if !reflect.DeepEqual(Apply(nil, d0), new) {
+		t.Fatal("apply(nil, diff(nil, new)) != new")
+	}
+	for _, nd := range d0.Nodes {
+		if len(nd.Removes) != 0 {
+			t.Fatalf("diff from empty has removes: %+v", nd)
+		}
+	}
+}
+
+func TestDiffDeterministicOrder(t *testing.T) {
+	new := mkRules(t,
+		[6]int{5, 1, 2, 0, 6, 1},
+		[6]int{3, 1, 2, 0, 4, 1},
+		[6]int{9, 1, 2, 0, 1, 1},
+	)
+	for i := 0; i < 10; i++ {
+		d := Diff(nil, new)
+		want := []topology.NodeID{3, 5, 9}
+		var got []topology.NodeID
+		for _, nd := range d.Nodes {
+			got = append(got, nd.Node)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("node order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeltaNodeLookup(t *testing.T) {
+	d := Diff(nil, mkRules(t,
+		[6]int{2, 1, 9, 0, 3, 1},
+		[6]int{7, 1, 9, 0, 8, 1},
+	))
+	if nd, ok := d.Node(7); !ok || nd.Node != 7 {
+		t.Fatalf("Node(7) = %+v, %v", nd, ok)
+	}
+	if _, ok := d.Node(5); ok {
+		t.Fatal("Node(5) found in delta that never touched node 5")
+	}
+}
+
+func TestChangelogCatchUpFromEveryVersion(t *testing.T) {
+	c := NewChangelog(0)
+	if c.Latest() != 0 {
+		t.Fatalf("fresh changelog latest = %d", c.Latest())
+	}
+	versions := []*rules.RuleSet{
+		mkRules(t, [6]int{1, 10, 20, 0, 2, 100}),
+		mkRules(t, [6]int{1, 10, 20, 0, 2, 80}, [6]int{2, 10, 20, 0, 3, 80}),
+		mkRules(t, [6]int{2, 10, 20, 0, 3, 80}),
+		mkRules(t, [6]int{2, 10, 20, 0, 3, 80}, [6]int{4, 11, 21, 1, 5, 9}),
+	}
+	for i, rs := range versions {
+		if v := c.Append(rs); v != uint64(i+1) {
+			t.Fatalf("Append #%d returned version %d", i+1, v)
+		}
+	}
+	latest := versions[len(versions)-1]
+	if !reflect.DeepEqual(c.Full(), latest) {
+		t.Fatal("Full() is not the latest rule set")
+	}
+	// A client at any since-version must converge bit-identically.
+	for since := uint64(0); since <= c.Latest(); since++ {
+		cu := c.Since(since)
+		if cu.Latest != c.Latest() {
+			t.Fatalf("since=%d: latest %d", since, cu.Latest)
+		}
+		var got *rules.RuleSet
+		if cu.FullSync {
+			got = cu.Full
+		} else {
+			if since == c.Latest() && !cu.UpToDate() {
+				t.Fatalf("since=latest not up to date: %+v", cu)
+			}
+			if since > 0 {
+				got = versions[since-1]
+			}
+			at := since
+			for _, d := range cu.Deltas {
+				if d.Seq != at+1 {
+					t.Fatalf("since=%d: delta seq %d after version %d", since, d.Seq, at)
+				}
+				at = d.Seq
+				got = Apply(got, d)
+			}
+			if at != c.Latest() {
+				t.Fatalf("since=%d: deltas stop at %d", since, at)
+			}
+		}
+		if got == nil {
+			got = &rules.RuleSet{Tables: map[topology.NodeID]*rules.Table{}}
+		}
+		want := latest
+		if len(want.Tables) == 0 {
+			want = &rules.RuleSet{Tables: map[topology.NodeID]*rules.Table{}}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("catch-up from %d did not converge: %+v != %+v", cu.Since, got, want)
+		}
+	}
+}
+
+func TestChangelogCompaction(t *testing.T) {
+	c := NewChangelog(2)
+	for i := 1; i <= 5; i++ {
+		c.Append(mkRules(t, [6]int{1, 10, 20, 0, 2, i}))
+	}
+	if c.Latest() != 5 {
+		t.Fatalf("latest = %d", c.Latest())
+	}
+	if c.Floor() != 3 {
+		t.Fatalf("floor = %d, want 3 (only deltas 4,5 retained)", c.Floor())
+	}
+	// Behind the window: full resync carrying the latest rules.
+	cu := c.Since(1)
+	if !cu.FullSync || cu.Full == nil {
+		t.Fatalf("since=1 should full-sync: %+v", cu)
+	}
+	if !reflect.DeepEqual(cu.Full, c.Full()) {
+		t.Fatal("full sync payload is not the latest rule set")
+	}
+	// Inside the window: deltas only.
+	cu = c.Since(3)
+	if cu.FullSync || len(cu.Deltas) != 2 {
+		t.Fatalf("since=3: %+v", cu)
+	}
+	// Ahead of latest (restarted server): treated as up to date.
+	cu = c.Since(9)
+	if cu.FullSync || len(cu.Deltas) != 0 || !cu.UpToDate() {
+		t.Fatalf("since=9: %+v", cu)
+	}
+}
+
+func TestChangelogSinceZeroAllocs(t *testing.T) {
+	c := NewChangelog(4)
+	for i := 1; i <= 6; i++ {
+		c.Append(mkRules(t, [6]int{1, 10, 20, 0, 2, i}))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		cu := c.Since(4)
+		if len(cu.Deltas) != 2 {
+			panic("wrong window")
+		}
+		_ = c.Latest()
+	})
+	if allocs != 0 {
+		t.Fatalf("Since allocated %v times per run", allocs)
+	}
+}

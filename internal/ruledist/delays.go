@@ -1,4 +1,4 @@
-package sim
+package ruledist
 
 import (
 	"container/heap"

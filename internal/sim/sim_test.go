@@ -1,14 +1,11 @@
 package sim
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
 	"sate/internal/baselines"
 	"sate/internal/constellation"
-	"sate/internal/orbit"
-	"sate/internal/te"
 	"sate/internal/topology"
 )
 
@@ -143,35 +140,6 @@ func TestProblemWithFailures(t *testing.T) {
 	}
 }
 
-func TestRuleDistributionDelays(t *testing.T) {
-	cons := constellation.StarlinkPhase1()
-	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
-	snap := gen.Snapshot(0)
-	delays := RuleDistributionDelays(snap, HoustonSite, orbit.Deg(25))
-	st := SummarizeDelays(delays)
-	if st.Reachable < snap.NumSats*95/100 {
-		t.Fatalf("only %d/%d satellites reachable", st.Reachable, snap.NumSats)
-	}
-	// Appendix D: delays range 2.3 ms .. 174 ms for Starlink. Allow slack but
-	// require the same order of magnitude.
-	if st.MinSec < 0.001 || st.MinSec > 0.02 {
-		t.Errorf("min delay %v s, want ~2.3 ms", st.MinSec)
-	}
-	if st.MaxSec < 0.05 || st.MaxSec > 0.4 {
-		t.Errorf("max delay %v s, want ~174 ms", st.MaxSec)
-	}
-	if st.MeanSec <= st.MinSec || st.MeanSec >= st.MaxSec {
-		t.Errorf("mean %v outside (min,max)", st.MeanSec)
-	}
-}
-
-func TestSummarizeDelaysEmpty(t *testing.T) {
-	st := SummarizeDelays([]float64{math.Inf(1)})
-	if st.Reachable != 0 || st.MeanSec != 0 {
-		t.Errorf("stats = %+v", st)
-	}
-}
-
 func TestScenarioRelayMode(t *testing.T) {
 	s := NewScenario(constellation.Toy(5, 6), ScenarioConfig{
 		Mode:      topology.CrossShellGroundRelays,
@@ -191,28 +159,3 @@ func TestScenarioRelayMode(t *testing.T) {
 	}
 }
 
-func TestRuleCountAndOverhead(t *testing.T) {
-	s := toyScenario(60, 23)
-	p, _, _, err := s.ProblemAt(20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := (baselines.ECMPWF{}).Solve(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rules := RuleCount(p, a)
-	if rules <= 0 {
-		t.Fatal("no rules for a non-empty allocation")
-	}
-	// Appendix D: overhead must be a tiny fraction of interval capacity.
-	frac := RuleOverheadFraction(p, a, 64, 1.0)
-	if frac <= 0 || frac > 0.05 {
-		t.Errorf("rule overhead fraction = %v; expected small positive", frac)
-	}
-	// Zero allocation compiles to zero rules.
-	zero := te.NewAllocation(p)
-	if RuleCount(p, zero) != 0 {
-		t.Error("zero allocation has rules")
-	}
-}

@@ -26,9 +26,11 @@ import (
 
 	"sate/internal/baselines"
 	"sate/internal/constellation"
+	"sate/internal/controller"
 	"sate/internal/core"
 	"sate/internal/experiments"
 	"sate/internal/obs"
+	"sate/internal/ruledist"
 	"sate/internal/shard"
 	"sate/internal/sim"
 	"sate/internal/solve"
@@ -75,6 +77,18 @@ type (
 	// CycleState carries SaTE warm-start state across successive TE cycles;
 	// pass one value through WithWarm on every cycle of a loop.
 	CycleState = core.CycleState
+	// Controller is the HTTP control center: it recomputes allocations on a
+	// cadence and serves immutable published snapshots under /v1/
+	// (DESIGN.md §14).
+	Controller = controller.Server
+	// ControllerSnapshot is one immutable published control-plane state:
+	// problem, allocation, compiled rules, and their pre-encoded responses.
+	ControllerSnapshot = controller.Snapshot
+	// RuleChangelog is the sequence-numbered rule-distribution changelog;
+	// consumers at any version catch up via deltas or a full sync.
+	RuleChangelog = ruledist.Changelog
+	// RuleDelta is the rule difference between two consecutive versions.
+	RuleDelta = ruledist.Delta
 )
 
 // Solve objectives.
@@ -233,6 +247,22 @@ type ShardedSolver = shard.Solver
 // and per-shard warm state carries across cycles. k <= 0 picks the default
 // shard count; WithShards overrides it per call, and 1 is monolithic.
 func Sharded(inner shard.Inner, k int) *ShardedSolver { return shard.New(inner, k) }
+
+// NewController builds the TE control center around a scenario and solver;
+// serve its Handler over HTTP and drive it with RunContext (or explicit
+// RecomputeContext calls). See cmd/sate-controld for the full daemon.
+func NewController(s *Scenario, al Allocator, opts ...controller.Option) *Controller {
+	return controller.New(s, al, opts...)
+}
+
+// NewRuleChangelog builds a standalone rule changelog retaining maxEntries
+// versions of deltas (<= 0 picks the default); Append published rule sets
+// and serve Since() to catch consumers up.
+func NewRuleChangelog(maxEntries int) *RuleChangelog { return ruledist.NewChangelog(maxEntries) }
+
+// ApplyRuleDelta applies one version delta to a rule set, returning the next
+// version's rules; the input is not mutated.
+var ApplyRuleDelta = ruledist.Apply
 
 // Solvers gives access to the paper's baselines as ready-to-use allocators.
 func Solvers() map[string]Allocator {

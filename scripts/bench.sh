@@ -28,6 +28,10 @@ CORE_AUTODIFF='BenchmarkTapeReuseForwardBackward|BenchmarkTapeFreshForwardBackwa
 # ~8k fixture takes minutes to construct and belongs in full runs.
 CORE_SHARD='BenchmarkShardedSolve'
 CORE_SHARD_SMOKE='BenchmarkShardedSolve/sats=2112'
+# The serving benchmarks measure throughput, so they need a time-based
+# -benchtime (N=3 iterations would report nothing useful about QPS); they
+# get their own invocation rather than joining the 3x core set.
+CORE_SERVE='BenchmarkServeSnapshot$|BenchmarkDeltaCatchup$'
 
 # diff_snapshots OLD NEW [gate]: per-benchmark ns/op and allocs/op deltas.
 # New snapshots store one entry per benchmark (best of count=2); older ones
@@ -86,7 +90,13 @@ smoke)
 	echo "== bench smoke (1x) =="
 	go test -run '^$' -bench "$CORE_ROOT" -benchtime=1x .
 	go test -run '^$' -bench "$CORE_SHARD_SMOKE" -benchtime=1x .
+	go test -run '^$' -bench "$CORE_SERVE" -benchtime=1x .
 	go test -run '^$' -bench "$CORE_AUTODIFF" -benchtime=1x ./internal/autodiff/
+	echo "== sate-load smoke (2s burst) =="
+	# A short in-process load burst through the real serving surface: any
+	# error response (5xx or transport failure) fails the smoke run.
+	go run ./cmd/sate-load -duration 2 -conns 4 -publish-interval 0.3 \
+		-out "${LOAD_REPORT:-/tmp/sate-load-report.json}"
 	;;
 full)
 	DATE="$(date +%Y-%m-%d)"
@@ -98,6 +108,7 @@ full)
 	echo "== bench full (3x, count=2) -> $OUT =="
 	go test -run '^$' -bench "$CORE_ROOT" -benchtime=3x -count=2 . | tee -a "$TMP"
 	go test -run '^$' -bench "$CORE_SHARD" -benchtime=3x -count=2 . | tee -a "$TMP"
+	go test -run '^$' -bench "$CORE_SERVE" -benchtime=2s -count=2 . | tee -a "$TMP"
 	go test -run '^$' -bench "$CORE_AUTODIFF" -benchtime=3x -count=2 ./internal/autodiff/ | tee -a "$TMP"
 	# Convert "BenchmarkX  N  T ns/op  B B/op  A allocs/op" lines to JSON,
 	# keeping one entry per benchmark: the best (minimum ns/op) of the

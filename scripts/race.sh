@@ -1,6 +1,8 @@
 #!/bin/sh
 # Race-detector pass over every package that spawns goroutines through
-# internal/par (kernels, path fan-out, snapshot series, experiment grids).
+# internal/par (kernels, path fan-out, snapshot series, experiment grids)
+# plus the concurrent serving layer (atomic snapshot publication, the rule
+# changelog, and recompute coalescing under parallel HTTP clients).
 # Part of the tier-1 verify path: run before merging changes to any of these.
 set -eu
 cd "$(dirname "$0")/.."
@@ -10,4 +12,6 @@ go test -race \
 	./internal/paths/... \
 	./internal/shard/... \
 	./internal/topology/... \
-	./internal/te/...
+	./internal/te/... \
+	./internal/controller/... \
+	./internal/ruledist/...
