@@ -22,7 +22,9 @@ import (
 	"sate/internal/core"
 	"sate/internal/experiments"
 	"sate/internal/graphembed"
+	"sate/internal/orbit"
 	"sate/internal/paths"
+	"sate/internal/pktsim"
 	"sate/internal/ruledist"
 	"sate/internal/rules"
 	"sate/internal/shard"
@@ -214,6 +216,58 @@ func benchCycleChurn(b *testing.B, warm bool) {
 
 func BenchmarkSaTECycleChurnCold(b *testing.B) { benchCycleChurn(b, false) }
 func BenchmarkSaTECycleChurnWarm(b *testing.B) { benchCycleChurn(b, true) }
+
+// BenchmarkPktSim executes one discrete-event packet run per iteration: an
+// ECMP-WF allocation on the Iridium scenario under a burst plus a rule-update
+// window with real distribution delays (DESIGN.md §15).
+func BenchmarkPktSim(b *testing.B) {
+	s, pCur := benchProblem(b, constellation.Iridium(), 60)
+	_, snap, _, err := s.ProblemAt(30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pPrev, _, _, err := s.ProblemAt(28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	al := baselines.ECMPWF{}
+	aCur, err := al.Solve(pCur)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aPrev, err := al.Solve(pPrev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &pktsim.RunSpec{
+		Snap: snap, Problem: pCur, Alloc: aCur,
+		Update: &pktsim.RuleUpdate{
+			PrevProblem: pPrev, PrevAlloc: aPrev, AtSec: 0.25,
+			DelaysSec: ruledist.RuleDistributionDelays(snap, ruledist.HoustonSite, orbit.Deg(10)),
+		},
+	}
+	cfg := pktsim.Config{
+		Seed: 1, HorizonSec: 0.5, JitterFrac: 0.03, Spikes: 2, Handovers: 1,
+		Burst:      &pktsim.Burst{StartSec: 0.1, DurSec: 0.2, Factor: 3},
+		MaxPackets: 200000,
+	}
+	res, err := pktsim.Run(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Injected == 0 || res.Delivered == 0 {
+		b.Fatalf("degenerate run: %+v", res)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pktsim.Run(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.Injected), "pkts")
+}
 
 // shardedBenchProblems builds `cycles` successive TE problems over one
 // fixed-time snapshot of a single-shell Walker constellation with

@@ -192,7 +192,13 @@ func worker(client *http.Client, base string, mix []mixEntry, total int, seed in
 			var dr struct {
 				Latest uint64 `json:"latest"`
 			}
-			if err := json.Unmarshal(body, &dr); err == nil && dr.Latest > since {
+			if err := json.Unmarshal(body, &dr); err != nil {
+				// A 200 whose body does not decode is a serving bug, not
+				// load shed — it must fail the run, not stall the cursor.
+				st.Errors++
+				continue
+			}
+			if dr.Latest > since {
 				since = dr.Latest
 			}
 		}

@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15a", "fig15b", "fig16",
 		"abl-graph", "abl-prune", "abl-dpp", "abl-attn", "abl-mwu", "abl-loss",
 		"fig12", "appc-paths", "disc-finetune",
+		"pktlat",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -85,3 +86,5 @@ func TestAppCPaths(t *testing.T)    { runExperiment(t, "appc-paths") }
 func TestDiscFineTune(t *testing.T) { runExperiment(t, "disc-finetune") }
 
 func TestAblLoss(t *testing.T) { runExperiment(t, "abl-loss") }
+
+func TestPktLat(t *testing.T) { runExperiment(t, "pktlat") }

@@ -44,10 +44,11 @@ const poolPath = "internal/par"
 // clock breaks reproducibility: the simulated-time pipeline (orbit,
 // topology, traffic, te, lp, gnn, autodiff, paths, graphembed), the
 // solver/rules layers added in PRs 4-5, the core warm-start path (PR 6),
-// and internal/sim — the ROADMAP's future packet simulator must run on
-// simulated time, so the few sites in sim that time the *solver* (where
+// internal/sim — the few sites in sim that time the *solver* (where
 // wall-clock latency is the measurement itself) carry explicit reasoned
-// //lint:ignore directives instead of a package-wide exemption.
+// //lint:ignore directives instead of a package-wide exemption — and
+// internal/pktsim, the discrete-event packet engine, whose entire clock is
+// virtual (the head of its event heap).
 // baselines, experiments, controller, cmd/ and the root package remain
 // exempt: there, wall-clock timing is the deliverable (figure tables,
 // production control loop pacing).
@@ -67,6 +68,7 @@ var wallclockDeny = map[string]bool{
 	"internal/shard":      true,
 	"internal/sim":        true,
 	"internal/ruledist":   true,
+	"internal/pktsim":     true,
 }
 
 // deterministicPkg is the set map-order-determinism enforces: the same

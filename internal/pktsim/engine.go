@@ -1,0 +1,307 @@
+package pktsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sate/internal/obs"
+)
+
+// packet is one in-flight packet: its forwarding key, destination, injection
+// time, and a hop budget. Packets are stored once in a flat slice; events
+// carry indices.
+type packet struct {
+	key       uint64
+	dst       int32
+	hops      int32
+	injectSec float64
+}
+
+// window is one scheduled disturbance on an undirected link.
+type window struct {
+	link     int32
+	start    float64
+	end      float64
+	extraSec float64 // 0 for handover (down) windows
+}
+
+type engine struct {
+	cfg     Config
+	ports   []port
+	portIdx map[uint64]int32
+
+	cur      *gen
+	prev     *gen      // nil without an update window
+	switchAt []float64 // per-node rule-arrival instant; nil without an update
+
+	packets []packet
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand // per-hop jitter stream
+	maxHops int32
+
+	spikes []window
+	downs  []window
+
+	res *Result
+
+	latHist   *obs.Histogram
+	depthHist *obs.Histogram
+	delivered *obs.Counter
+	dropCtr   [4]*obs.Counter // queue, no_rule, down, loop
+}
+
+const (
+	dropQueue = iota
+	dropNoRule
+	dropDown
+	dropLoop
+)
+
+// Run executes spec under cfg and returns the accounting. The run is
+// bitwise-deterministic for a fixed cfg.Seed at any SATE_WORKERS setting.
+func Run(spec *RunSpec, cfg Config) (*Result, error) {
+	cfg = cfg.Defaults()
+	if err := validate(spec); err != nil {
+		return nil, err
+	}
+	ports, portIdx, err := buildPorts(spec, cfg.PacketBits, cfg.QueuePkts)
+	if err != nil {
+		return nil, err
+	}
+	numNodes := spec.Snap.NumNodes
+	cur, err := compileGen(spec.Problem, spec.Alloc, numNodes)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		ports:   ports,
+		portIdx: portIdx,
+		cur:     cur,
+		rng:     rand.New(rand.NewSource(int64(mix64(uint64(cfg.Seed) ^ 0x6a74746572)))), // "jitter" stream
+		maxHops: int32(numNodes) + 8,
+		res:     &Result{},
+	}
+	if u := spec.Update; u != nil {
+		e.prev, err = compileGen(u.PrevProblem, u.PrevAlloc, numNodes)
+		if err != nil {
+			return nil, err
+		}
+		e.switchAt = make([]float64, numNodes)
+		for i := range e.switchAt {
+			d := 0.0
+			if i < len(u.DelaysSec) {
+				d = u.DelaysSec[i] // +Inf delay: the node never switches
+			}
+			e.switchAt[i] = u.AtSec + d
+		}
+	}
+
+	streams := buildStreams(spec, cfg.HorizonSec)
+	if len(streams) == 0 {
+		// A zero allocation (e.g. a no-demand cycle) is a valid, empty run.
+		return e.res, nil
+	}
+	scheds, truncated := buildSchedules(streams, &cfg)
+	e.res.Truncated = truncated
+	for si := range scheds {
+		st := &streams[si]
+		for _, t := range scheds[si] {
+			pid := int32(len(e.packets))
+			e.packets = append(e.packets, packet{key: st.key, dst: st.dst, injectSec: t})
+			e.push(event{t: t, kind: evArrive, node: st.src, pkt: pid})
+		}
+	}
+	e.res.Injected = len(e.packets)
+
+	// Disturbance schedules draw from their own seed stream so toggling
+	// jitter or changing traffic does not reshuffle which links fail when.
+	master := rand.New(rand.NewSource(int64(mix64(uint64(cfg.Seed) ^ 0x686f76657273))))
+	numLinks := len(ports) / 2
+	for i := 0; i < cfg.Spikes; i++ {
+		s := master.Float64() * cfg.HorizonSec
+		e.spikes = append(e.spikes, window{
+			link: int32(master.Intn(numLinks)), start: s, end: s + cfg.SpikeDurSec, extraSec: cfg.SpikeExtraSec,
+		})
+	}
+	for i := 0; i < cfg.Handovers; i++ {
+		s := master.Float64() * cfg.HorizonSec
+		e.downs = append(e.downs, window{
+			link: int32(master.Intn(numLinks)), start: s, end: s + cfg.HandoverDurSec,
+		})
+	}
+
+	reg := cfg.Registry
+	e.latHist = reg.Histogram("pktsim_packet_latency_seconds", LatencyBucketsSec)
+	e.depthHist = reg.Histogram("pktsim_queue_depth_pkts", QueueDepthBuckets)
+	reg.Counter("pktsim_packets_injected_total").Add(uint64(e.res.Injected))
+	e.delivered = reg.Counter("pktsim_packets_delivered_total")
+	drops := reg.CounterVec("pktsim_packets_dropped_total", "reason")
+	e.dropCtr = [4]*obs.Counter{
+		dropQueue:  drops.With("queue"),
+		dropNoRule: drops.With("no_rule"),
+		dropDown:   drops.With("link_down"),
+		dropLoop:   drops.With("loop"),
+	}
+
+	e.run()
+	reg.Gauge("pktsim_queue_high_water_pkts").Set(float64(e.res.MaxQueuePkts))
+	return e.res, nil
+}
+
+func validate(spec *RunSpec) error {
+	switch {
+	case spec == nil || spec.Snap == nil || spec.Problem == nil || spec.Alloc == nil:
+		return errors.New("pktsim: RunSpec needs Snap, Problem and Alloc")
+	case len(spec.Alloc.X) != len(spec.Problem.Flows):
+		return fmt.Errorf("pktsim: allocation covers %d flows, problem has %d",
+			len(spec.Alloc.X), len(spec.Problem.Flows))
+	case spec.Problem.NumNodes > spec.Snap.NumNodes:
+		return fmt.Errorf("pktsim: problem spans %d nodes, snapshot has %d",
+			spec.Problem.NumNodes, spec.Snap.NumNodes)
+	case len(spec.Snap.Pos) < spec.Snap.NumNodes:
+		return fmt.Errorf("pktsim: snapshot has %d positions for %d nodes",
+			len(spec.Snap.Pos), spec.Snap.NumNodes)
+	}
+	if u := spec.Update; u != nil {
+		switch {
+		case u.PrevProblem == nil || u.PrevAlloc == nil:
+			return errors.New("pktsim: RuleUpdate needs PrevProblem and PrevAlloc")
+		case len(u.PrevAlloc.X) != len(u.PrevProblem.Flows):
+			return fmt.Errorf("pktsim: previous allocation covers %d flows, previous problem has %d",
+				len(u.PrevAlloc.X), len(u.PrevProblem.Flows))
+		case u.PrevProblem.NumNodes > spec.Snap.NumNodes:
+			return fmt.Errorf("pktsim: previous problem spans %d nodes, snapshot has %d",
+				u.PrevProblem.NumNodes, spec.Snap.NumNodes)
+		case u.AtSec < 0:
+			return fmt.Errorf("pktsim: update at %v s", u.AtSec)
+		}
+	}
+	return nil
+}
+
+// push assigns the next sequence number and schedules the event. Sequence
+// numbers are the deterministic tie-break for equal-time events.
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.heap.push(ev)
+}
+
+// run drains the event heap. Injection is bounded by the horizon; in-flight
+// packets drain to completion past it, so tail latencies are not clipped.
+func (e *engine) run() {
+	for e.heap.len() > 0 {
+		ev := e.heap.pop()
+		if ev.kind == evArrive {
+			e.arrive(ev)
+		} else {
+			e.depart(ev)
+		}
+	}
+}
+
+func (e *engine) drop(kind int) {
+	switch kind {
+	case dropQueue:
+		e.res.DroppedQueue++
+	case dropNoRule:
+		e.res.DroppedNoRule++
+	case dropDown:
+		e.res.DroppedDown++
+	default:
+		e.res.DroppedLoop++
+	}
+	e.dropCtr[kind].Inc()
+}
+
+// arrive delivers a packet to a node: terminal delivery, or a rule lookup in
+// whichever forwarding generation the node runs at this instant.
+func (e *engine) arrive(ev event) {
+	p := &e.packets[ev.pkt]
+	if ev.node == p.dst {
+		lat := ev.t - p.injectSec
+		e.res.Delivered++
+		e.res.LatenciesSec = append(e.res.LatenciesSec, lat)
+		e.latHist.Observe(lat)
+		e.delivered.Inc()
+		return
+	}
+	if p.hops++; p.hops > e.maxHops {
+		e.drop(dropLoop)
+		return
+	}
+	g := e.cur
+	if e.switchAt != nil && ev.t < e.switchAt[ev.node] {
+		g = e.prev // rules for this cycle have not reached this node yet
+	}
+	next, ok := g.lookup(ev.node, p.key)
+	if !ok {
+		e.drop(dropNoRule)
+		return
+	}
+	pi, ok := e.portIdx[portKey(ev.node, next)]
+	if !ok {
+		// The rule references a link that exists in neither generation's
+		// port set (it left the topology): the packet had nowhere to go.
+		e.drop(dropDown)
+		return
+	}
+	e.enqueue(pi, ev.t, ev.pkt)
+}
+
+// enqueue offers a packet to a directed port: dropped if the link is in a
+// handover window or the FIFO is full, serialized immediately if the port is
+// idle, queued otherwise.
+func (e *engine) enqueue(pi int32, t float64, pkt int32) {
+	pt := &e.ports[pi]
+	for _, w := range e.downs {
+		if w.link == pt.link && t >= w.start && t < w.end {
+			e.drop(dropDown)
+			return
+		}
+	}
+	if !pt.busy {
+		pt.busy = true
+		e.depthHist.Observe(1)
+		if e.res.MaxQueuePkts < 1 {
+			e.res.MaxQueuePkts = 1
+		}
+		e.push(event{t: t + pt.serSec, kind: evDepart, port: pi, pkt: pkt})
+		return
+	}
+	if pt.q.full() {
+		e.drop(dropQueue)
+		return
+	}
+	pt.q.push(pkt)
+	depth := pt.q.n + 1 // queued plus the packet in service
+	e.depthHist.Observe(float64(depth))
+	if depth > e.res.MaxQueuePkts {
+		e.res.MaxQueuePkts = depth
+	}
+}
+
+// depart completes one packet's serialization: the packet propagates to the
+// far end (plus any active delay spike and seeded jitter) and the port takes
+// the next queued packet, if any.
+func (e *engine) depart(ev event) {
+	pt := &e.ports[ev.port]
+	d := pt.propSec
+	for _, w := range e.spikes {
+		if w.link == pt.link && ev.t >= w.start && ev.t < w.end {
+			d += w.extraSec
+		}
+	}
+	if e.cfg.JitterFrac > 0 {
+		d += e.rng.Float64() * e.cfg.JitterFrac * pt.propSec
+	}
+	e.push(event{t: ev.t + d, kind: evArrive, node: pt.to, pkt: ev.pkt})
+	if pt.q.n > 0 {
+		e.push(event{t: ev.t + pt.serSec, kind: evDepart, port: ev.port, pkt: pt.q.pop()})
+	} else {
+		pt.busy = false
+	}
+}

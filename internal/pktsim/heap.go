@@ -1,0 +1,80 @@
+package pktsim
+
+// Event kinds. An arrive event delivers a packet to a node (injection is an
+// arrival at the stream's source); a depart event completes one packet's
+// serialization on a directed port.
+const (
+	evArrive = iota
+	evDepart
+)
+
+// event is one scheduled occurrence on the virtual clock. seq is a globally
+// unique, deterministically assigned tie-breaker: equal-time events pop in
+// schedule order without ever comparing floats for equality.
+type event struct {
+	t    float64
+	seq  uint64
+	kind uint8
+	node int32 // evArrive: node the packet reaches
+	port int32 // evDepart: port finishing serialization
+	pkt  int32 // index into engine.packets
+}
+
+// eventLess orders the heap by (time, sequence). Written as two strict
+// comparisons so equal times fall through to the sequence tie-break without
+// a float equality test.
+func eventLess(a, b event) bool {
+	if a.t < b.t {
+		return true
+	}
+	if b.t < a.t {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap of events. It is hand-rolled rather than
+// container/heap so push/pop are direct array sifts with no interface
+// boxing — the event loop executes one push+pop per packet-hop.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h.ev[i], h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && eventLess(h.ev[l], h.ev[small]) {
+			small = l
+		}
+		if r < last && eventLess(h.ev[r], h.ev[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.ev[i], h.ev[small] = h.ev[small], h.ev[i]
+		i = small
+	}
+	return top
+}

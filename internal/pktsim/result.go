@@ -1,0 +1,89 @@
+package pktsim
+
+import (
+	"math"
+	"sort"
+)
+
+// Result is one engine run's accounting. Integer counters plus the raw
+// per-packet latency series (in delivery order, which is deterministic);
+// everything else is derived on demand.
+type Result struct {
+	Injected  int
+	Delivered int
+
+	DroppedQueue  int // FIFO overflow on a saturated port
+	DroppedNoRule int // no forwarding rule — stale-rule loss inside update windows
+	DroppedDown   int // port in a handover window (or its link left the topology)
+	DroppedLoop   int // hop-budget exceeded (cross-generation forwarding loop)
+
+	Truncated    bool // MaxPackets quota cut at least one stream's injection
+	MaxQueuePkts int  // high-water occupancy over every port (queued + in service)
+
+	LatenciesSec []float64 // one entry per delivered packet, delivery order
+}
+
+// Dropped is the total loss across all causes.
+func (r *Result) Dropped() int {
+	return r.DroppedQueue + r.DroppedNoRule + r.DroppedDown + r.DroppedLoop
+}
+
+// LossFrac is dropped / injected (0 for an empty run).
+func (r *Result) LossFrac() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.Dropped()) / float64(r.Injected)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 100) of delivered
+// packet latency in seconds, from a sorted copy of the series. NaN when
+// nothing was delivered, so a missing distribution cannot masquerade as a
+// zero-latency one.
+func (r *Result) LatencyPercentile(p float64) float64 {
+	n := len(r.LatenciesSec)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), r.LatenciesSec...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s[idx]
+}
+
+// MeanLatencySec is the mean delivered-packet latency (NaN when empty).
+func (r *Result) MeanLatencySec() float64 {
+	if len(r.LatenciesSec) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range r.LatenciesSec {
+		sum += v
+	}
+	return sum / float64(len(r.LatenciesSec))
+}
+
+// Merge folds another run into r — how the online-replay adapter aggregates
+// per-cycle results into one horizon-wide distribution.
+func (r *Result) Merge(o *Result) {
+	if o == nil {
+		return
+	}
+	r.Injected += o.Injected
+	r.Delivered += o.Delivered
+	r.DroppedQueue += o.DroppedQueue
+	r.DroppedNoRule += o.DroppedNoRule
+	r.DroppedDown += o.DroppedDown
+	r.DroppedLoop += o.DroppedLoop
+	r.Truncated = r.Truncated || o.Truncated
+	if o.MaxQueuePkts > r.MaxQueuePkts {
+		r.MaxQueuePkts = o.MaxQueuePkts
+	}
+	r.LatenciesSec = append(r.LatenciesSec, o.LatenciesSec...)
+}

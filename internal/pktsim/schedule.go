@@ -1,0 +1,113 @@
+package pktsim
+
+import (
+	"math/rand"
+
+	"sate/internal/par"
+	"sate/internal/te"
+)
+
+// stream is one (flow, label) injection source: packets of Config.PacketBits
+// at the allocated rate, injected at the flow's source between startSec and
+// endSec (its generation's share of the horizon).
+type stream struct {
+	src, dst int32
+	key      uint64 // fwdKey(src, dst, label)
+	rateMbps float64
+	startSec float64
+	endSec   float64
+}
+
+// buildStreams lists the positive-rate (flow, label) streams. With an update
+// window, previous-allocation streams inject before AtSec and new-allocation
+// streams after — sources follow the control center's switch instant even
+// though mid-network nodes lag by their distribution delay.
+func buildStreams(spec *RunSpec, horizonSec float64) []stream {
+	var out []stream
+	add := func(p *te.Problem, a *te.Allocation, start, end float64) {
+		for fi := range p.Flows {
+			f := &p.Flows[fi]
+			for pi := range f.Paths {
+				rate := a.X[fi][pi]
+				if rate <= 0 {
+					continue
+				}
+				out = append(out, stream{
+					src: int32(f.Src), dst: int32(f.Dst),
+					key:      fwdKey(f.Src, f.Dst, pi),
+					rateMbps: rate,
+					startSec: start, endSec: end,
+				})
+			}
+		}
+	}
+	if spec.Update == nil {
+		add(spec.Problem, spec.Alloc, 0, horizonSec)
+		return out
+	}
+	at := spec.Update.AtSec
+	if at > horizonSec {
+		at = horizonSec
+	}
+	if at > 0 {
+		add(spec.Update.PrevProblem, spec.Update.PrevAlloc, 0, at)
+	}
+	if at < horizonSec {
+		add(spec.Problem, spec.Alloc, at, horizonSec)
+	}
+	return out
+}
+
+// mix64 is a splitmix64-style finalizer for deriving independent per-stream
+// seeds from (Config.Seed, stream index).
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// buildSchedules computes per-stream injection times. The fan-out runs
+// through par.For, and stream si's schedule depends only on (seed, si) —
+// never on which worker built it or what its neighbours produced — so the
+// result is bitwise-identical at any SATE_WORKERS setting. Returns the
+// schedules and whether any stream hit its MaxPackets quota.
+func buildSchedules(streams []stream, cfg *Config) ([][]float64, bool) {
+	quota := cfg.MaxPackets / len(streams)
+	if quota < 1 {
+		quota = 1
+	}
+	out := make([][]float64, len(streams))
+	truncated := make([]bool, len(streams))
+	par.For(len(streams), 8, func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			st := &streams[si]
+			rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.Seed) ^ mix64(uint64(si)+1)))))
+			base := float64(cfg.PacketBits) / (st.rateMbps * 1e6)
+			// Random initial phase decorrelates same-rate streams; without
+			// it every stream would batch its packets onto the same instants.
+			t := st.startSec + rng.Float64()*base
+			var times []float64
+			for t < st.endSec {
+				if len(times) >= quota {
+					truncated[si] = true
+					break
+				}
+				times = append(times, t)
+				iv := base
+				if b := cfg.Burst; b != nil && b.Factor > 0 && t >= b.StartSec && t < b.StartSec+b.DurSec {
+					iv = base / b.Factor
+				}
+				t += iv
+			}
+			out[si] = times
+		}
+	})
+	trunc := false
+	for _, tr := range truncated {
+		trunc = trunc || tr
+	}
+	return out, trunc
+}

@@ -195,6 +195,87 @@ func TestChangelogCompaction(t *testing.T) {
 	}
 }
 
+// TestSinceCompactionBoundary pins the exact off-by-one-prone boundary of
+// Since against compaction. With max=3 and 6 appends the retained deltas are
+// versions 4..6 and floor is 3 — the floor version itself is the OLDEST
+// version deltas can still serve a catch-up FROM (its successor delta d4 is
+// retained), while floor-1 must full-sync (d3 was compacted; serving
+// deltas[0:] there would silently apply d4 onto a version-2 base). Getting
+// either edge wrong is silent: a premature full sync still converges, and a
+// delta from a compacted base converges on these small tables too — only the
+// seq/full-sync shape distinguishes them, so that is what this test checks.
+func TestSinceCompactionBoundary(t *testing.T) {
+	const max, appends = 3, 6
+	c := NewChangelog(max)
+	// Keep every published version so delta catch-ups can be replayed from
+	// the exact base the client would hold.
+	published := []*rules.RuleSet{nil} // index = version; version 0 is empty
+	for i := 1; i <= appends; i++ {
+		rs := mkRules(t, [6]int{1, 10, 20, 0, 2, i}, [6]int{i, 10, 20, 0, 2, i})
+		c.Append(rs)
+		published = append(published, rs)
+	}
+	if c.Latest() != appends {
+		t.Fatalf("latest = %d, want %d", c.Latest(), appends)
+	}
+	if want := uint64(appends - max); c.Floor() != want {
+		t.Fatalf("floor = %d, want %d (deltas %d..%d retained)", c.Floor(), want, want+1, appends)
+	}
+	cases := []struct {
+		name      string
+		since     uint64
+		fullSync  bool
+		deltaSeqs []uint64
+		upToDate  bool
+	}{
+		{name: "since=0 (empty client, window compacted)", since: 0, fullSync: true},
+		{name: "since=floor-1 (one below boundary)", since: 2, fullSync: true},
+		{name: "since=floor (exact boundary: d4 retained)", since: 3, deltaSeqs: []uint64{4, 5, 6}},
+		{name: "since=floor+1 (oldest retained delta applied)", since: 4, deltaSeqs: []uint64{5, 6}},
+		{name: "since=latest-1", since: 5, deltaSeqs: []uint64{6}},
+		{name: "since=latest", since: 6, upToDate: true},
+		{name: "since=latest+1 (restarted server)", since: 7, upToDate: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cu := c.Since(tc.since)
+			if cu.Latest != c.Latest() || cu.Since != tc.since {
+				t.Fatalf("echoed versions: %+v", cu)
+			}
+			if cu.UpToDate() != tc.upToDate {
+				t.Fatalf("UpToDate() = %v, want %v", cu.UpToDate(), tc.upToDate)
+			}
+			if cu.FullSync != tc.fullSync {
+				t.Fatalf("FullSync = %v, want %v", cu.FullSync, tc.fullSync)
+			}
+			var seqs []uint64
+			for _, d := range cu.Deltas {
+				seqs = append(seqs, d.Seq)
+			}
+			if !reflect.DeepEqual(seqs, tc.deltaSeqs) {
+				t.Fatalf("delta seqs %v, want %v", seqs, tc.deltaSeqs)
+			}
+			// Converge the client and require bit-identity with the latest
+			// published rule set, from the exact base version it holds.
+			var got *rules.RuleSet
+			switch {
+			case tc.fullSync:
+				got = cu.Full
+			case tc.upToDate:
+				return
+			default:
+				got = published[tc.since]
+				for _, d := range cu.Deltas {
+					got = Apply(got, d)
+				}
+			}
+			if !reflect.DeepEqual(got, published[appends]) {
+				t.Fatalf("catch-up from %d did not reproduce the latest rule set", tc.since)
+			}
+		})
+	}
+}
+
 func TestChangelogSinceZeroAllocs(t *testing.T) {
 	c := NewChangelog(4)
 	for i := 1; i <= 6; i++ {

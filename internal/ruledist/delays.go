@@ -37,14 +37,23 @@ func RuleDistributionDelays(snap *topology.Snapshot, center groundnet.Site, minE
 			}
 		}
 	}
-	// Dijkstra over ISLs with light-time weights.
+	// Dijkstra over ISLs with light-time weights. Relaxation is restricted to
+	// satellite nodes: Appendix D distributes rules over ISL paths only, so a
+	// rule push must never shortcut through a ground relay's bent-pipe links
+	// (in bent-pipe mode the adjacency also contains satellite–ground edges,
+	// and a gateway sitting between two satellite clusters would otherwise
+	// splice them into one artificially fast rule-distribution domain).
 	adj := snap.Adjacency()
+	sats := topology.NodeID(snap.NumSats)
 	for pq.Len() > 0 {
 		e := heap.Pop(pq).(delayEntry)
 		if e.delay > dist[e.node] {
 			continue
 		}
 		for _, nb := range adj[e.node] {
+			if nb >= sats {
+				continue // ground relay: not part of the rule-distribution ISL mesh
+			}
 			d := e.delay + orbit.PropagationDelaySec(snap.Pos[e.node], snap.Pos[nb])
 			if d < dist[nb] {
 				dist[nb] = d

@@ -1,4 +1,7 @@
-package ruledist
+// External test package: internal/sim imports ruledist (the packet-replay
+// adapter computes rule-arrival delays), and these tests build scenarios
+// through sim — an in-package test file would close an import cycle.
+package ruledist_test
 
 import (
 	"math"
@@ -7,6 +10,7 @@ import (
 	"sate/internal/baselines"
 	"sate/internal/constellation"
 	"sate/internal/orbit"
+	"sate/internal/ruledist"
 	"sate/internal/sim"
 	"sate/internal/te"
 	"sate/internal/topology"
@@ -16,8 +20,8 @@ func TestRuleDistributionDelays(t *testing.T) {
 	cons := constellation.StarlinkPhase1()
 	gen := topology.NewGenerator(cons, topology.DefaultConfig(topology.CrossShellLasers))
 	snap := gen.Snapshot(0)
-	delays := RuleDistributionDelays(snap, HoustonSite, orbit.Deg(25))
-	st := SummarizeDelays(delays)
+	delays := ruledist.RuleDistributionDelays(snap, ruledist.HoustonSite, orbit.Deg(25))
+	st := ruledist.SummarizeDelays(delays)
 	if st.Reachable < snap.NumSats*95/100 {
 		t.Fatalf("only %d/%d satellites reachable", st.Reachable, snap.NumSats)
 	}
@@ -34,8 +38,55 @@ func TestRuleDistributionDelays(t *testing.T) {
 	}
 }
 
+// TestRuleDistributionStaysOnISLs pins the Appendix D constraint that rule
+// pushes travel over ISLs only: a ground relay bridging two otherwise
+// disconnected satellite clusters must NOT act as a bent-pipe shortcut for
+// rule distribution. Before the fix, Dijkstra relaxed over every adjacency
+// edge — including satellite–ground links — so the far cluster appeared
+// reachable through the gateway.
+func TestRuleDistributionStaysOnISLs(t *testing.T) {
+	up := ruledist.HoustonSite.ECEF().Normalize()
+	// An axis orthogonal to the site vertical, for placing the gateway off to
+	// the side.
+	east := orbit.Vec3{X: -up.Y, Y: up.X, Z: 0}.Normalize()
+	alt := orbit.EarthRadiusKm + 550
+	snap := &topology.Snapshot{
+		NumSats:  4,
+		NumNodes: 5, // node 4 is the ground relay (gateway)
+		Pos: []orbit.Vec3{
+			up.Scale(alt),                   // sat 0: overhead the control center
+			up.Scale(alt + 60),              // sat 1: cluster A neighbour
+			up.Scale(-alt),                  // sat 2: antipodal, below the horizon
+			up.Scale(-(alt + 60)),           // sat 3: cluster B neighbour
+			east.Scale(orbit.EarthRadiusKm), // node 4: the gateway, on the ground
+		},
+	}
+	snap.Links = []topology.Link{
+		topology.MakeLink(0, 1, topology.IntraOrbit),      // cluster A ISL
+		topology.MakeLink(2, 3, topology.IntraOrbit),      // cluster B ISL
+		topology.MakeLink(1, 4, topology.GroundRelayLink), // cluster A -> gateway
+		topology.MakeLink(2, 4, topology.GroundRelayLink), // gateway -> cluster B
+	}
+	snap.Finalize()
+
+	delays := ruledist.RuleDistributionDelays(snap, ruledist.HoustonSite, orbit.Deg(25))
+	if len(delays) != 4 {
+		t.Fatalf("got %d delays, want 4", len(delays))
+	}
+	for _, id := range []int{0, 1} {
+		if math.IsInf(delays[id], 1) {
+			t.Errorf("sat %d (visible cluster) unreachable", id)
+		}
+	}
+	for _, id := range []int{2, 3} {
+		if !math.IsInf(delays[id], 1) {
+			t.Errorf("sat %d reachable with delay %v s: rule path shortcut through the gateway bent-pipe", id, delays[id])
+		}
+	}
+}
+
 func TestSummarizeDelaysEmpty(t *testing.T) {
-	st := SummarizeDelays([]float64{math.Inf(1)})
+	st := ruledist.SummarizeDelays([]float64{math.Inf(1)})
 	if st.Reachable != 0 || st.MeanSec != 0 {
 		t.Errorf("stats = %+v", st)
 	}
@@ -56,18 +107,18 @@ func TestRuleCountAndOverhead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := RuleCount(p, a)
+	rules := ruledist.RuleCount(p, a)
 	if rules <= 0 {
 		t.Fatal("no rules for a non-empty allocation")
 	}
 	// Appendix D: overhead must be a tiny fraction of interval capacity.
-	frac := RuleOverheadFraction(p, a, 64, 1.0)
+	frac := ruledist.RuleOverheadFraction(p, a, 64, 1.0)
 	if frac <= 0 || frac > 0.05 {
 		t.Errorf("rule overhead fraction = %v; expected small positive", frac)
 	}
 	// Zero allocation compiles to zero rules.
 	zero := te.NewAllocation(p)
-	if RuleCount(p, zero) != 0 {
+	if ruledist.RuleCount(p, zero) != 0 {
 		t.Error("zero allocation has rules")
 	}
 }

@@ -1,4 +1,4 @@
-package rules
+package rules_test
 
 import (
 	"math/rand"
@@ -7,6 +7,7 @@ import (
 	"sate/internal/baselines"
 	"sate/internal/constellation"
 	"sate/internal/paths"
+	"sate/internal/rules"
 	"sate/internal/sim"
 	"sate/internal/te"
 	"sate/internal/topology"
@@ -41,7 +42,7 @@ func TestCompileDiamond(t *testing.T) {
 	a.X[0][0] = 10
 	a.X[0][1] = 5
 
-	rs := Compile(p, a)
+	rs := rules.Compile(p, a)
 	// Node 0 carries both labels: label 0 (rate 10) to node 1, label 1
 	// (rate 5) to node 2.
 	t0 := rs.Tables[0]
@@ -68,7 +69,7 @@ func TestCompileDiamond(t *testing.T) {
 	if rs.NumRules() != 4 {
 		t.Errorf("rule count = %d want 4", rs.NumRules())
 	}
-	if err := Verify(p, a, rs); err != nil {
+	if err := rules.Verify(p, a, rs); err != nil {
 		t.Errorf("verify: %v", err)
 	}
 }
@@ -98,7 +99,7 @@ func TestCompileLabelsStayDistinct(t *testing.T) {
 	a := te.NewAllocation(p)
 	a.X[0][0] = 7
 	a.X[0][1] = 3
-	rs := Compile(p, a)
+	rs := rules.Compile(p, a)
 	t0 := rs.Tables[0]
 	if len(t0.Rules) != 2 {
 		t.Fatalf("node 0 should carry both labels: %+v", t0.Rules)
@@ -109,7 +110,7 @@ func TestCompileLabelsStayDistinct(t *testing.T) {
 		t1.Rules[1].Next != 3 || t1.Rules[1].RateMbps != 3 {
 		t.Fatalf("node 1 rules: %+v", t1.Rules)
 	}
-	if err := Verify(p, a, rs); err != nil {
+	if err := rules.Verify(p, a, rs); err != nil {
 		t.Errorf("verify: %v", err)
 	}
 }
@@ -118,10 +119,10 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 	p := diamond(30)
 	a := te.NewAllocation(p)
 	a.X[0][0] = 10
-	rs := Compile(p, a)
+	rs := rules.Compile(p, a)
 	// Corrupt: node 1 halves the rate of its rule.
 	rs.Tables[1].Rules[0].RateMbps = 5
-	if err := Verify(p, a, rs); err == nil {
+	if err := rules.Verify(p, a, rs); err == nil {
 		t.Error("corrupted rules passed verification")
 	}
 }
@@ -129,11 +130,11 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 func TestCompileZeroAllocation(t *testing.T) {
 	p := diamond(30)
 	a := te.NewAllocation(p)
-	rs := Compile(p, a)
+	rs := rules.Compile(p, a)
 	if rs.NumRules() != 0 {
 		t.Errorf("zero allocation produced %d rules", rs.NumRules())
 	}
-	if err := Verify(p, a, rs); err != nil {
+	if err := rules.Verify(p, a, rs); err != nil {
 		t.Errorf("verify empty: %v", err)
 	}
 }
@@ -158,8 +159,8 @@ func TestCompileEndToEndScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs := Compile(p, a)
-	if err := Verify(p, a, rs); err != nil {
+	rs := rules.Compile(p, a)
+	if err := rules.Verify(p, a, rs); err != nil {
 		t.Fatalf("end-to-end rule verification: %v", err)
 	}
 	if rs.NumRules() == 0 {
@@ -193,11 +194,11 @@ func TestCompileLinkLoadsMatchProperty(t *testing.T) {
 			}
 		}
 		p.Trim(a) // make it feasible (and clamp negatives)
-		rs := Compile(p, a)
-		if err := Verify(p, a, rs); err != nil {
+		rs := rules.Compile(p, a)
+		if err := rules.Verify(p, a, rs); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		fromRules := LinkLoadsFromRules(p, rs)
+		fromRules := rules.LinkLoadsFromRules(p, rs)
 		wantLoads := p.LinkLoads(a)
 		for li, l := range p.Links {
 			key := uint64(l.A)<<32 | uint64(uint32(l.B))

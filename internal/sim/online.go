@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sate/internal/obs"
+	"sate/internal/pktsim"
 	"sate/internal/solve"
 	"sate/internal/te"
 	"sate/internal/topology"
@@ -37,6 +38,10 @@ type OnlineConfig struct {
 	// spans, and the per-solve latency histograms recorded by the allocator
 	// itself (DESIGN.md §9). Nil disables instrumentation.
 	Registry *obs.Registry
+	// PacketReplay, when set, additionally executes every recomputation
+	// cycle through the discrete-event packet engine and accumulates the
+	// per-packet accounting in OnlineResult.PacketStats (DESIGN.md §15).
+	PacketReplay *PacketReplay
 }
 
 // OnlineResult summarises an online run.
@@ -54,6 +59,9 @@ type OnlineResult struct {
 	// recomputations: paths that newly carry traffic plus paths that
 	// stopped carrying traffic. The first allocation counts all its routes.
 	RouteChurn int
+	// PacketStats aggregates the packet-level replay of every recompute
+	// cycle; nil unless OnlineConfig.PacketReplay was set.
+	PacketStats *pktsim.Result
 }
 
 // activeAlloc is the allocation currently loaded into the network, with the
@@ -225,6 +233,19 @@ func (s *Scenario) RunOnline(al Allocator, cfg OnlineConfig) (*OnlineResult, err
 			res.RouteChurn += churn
 			churnTotal.Add(uint64(churn))
 			churnGauge.Set(float64(churn))
+			if cfg.PacketReplay != nil {
+				// Replay this cycle at packet granularity: `active` still
+				// holds the PREVIOUS allocation, which is exactly the rule
+				// generation the network runs until the new push lands.
+				pres, perr := cfg.PacketReplay.replay(s, snap, active, cur, alloc, res.Recomputations)
+				if perr != nil {
+					return nil, perr
+				}
+				if res.PacketStats == nil {
+					res.PacketStats = &pktsim.Result{}
+				}
+				res.PacketStats.Merge(pres)
+			}
 			active = next
 			interval := cfg.IntervalSec
 			if interval <= 0 {

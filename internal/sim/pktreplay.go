@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"sate/internal/groundnet"
+	"sate/internal/orbit"
+	"sate/internal/pktsim"
+	"sate/internal/ruledist"
+	"sate/internal/te"
+	"sate/internal/topology"
+)
+
+// PacketReplay makes RunOnline execute each recomputation cycle through the
+// discrete-event packet engine (internal/pktsim) instead of only scoring it
+// at flow granularity. Every recompute replays Engine.HorizonSec of packet
+// traffic under the fresh allocation; from the second cycle on, the replay
+// starts on the PREVIOUS cycle's rules and switches node by node at
+// UpdateAtSec plus each satellite's rule-distribution delay (Appendix D via
+// ruledist.RuleDistributionDelays) — so stale-rule loss during the update
+// window shows up in the packet accounting.
+type PacketReplay struct {
+	// Engine configures each per-cycle run. Engine.Seed is advanced per
+	// cycle so cycles draw distinct (but reproducible) jitter and
+	// disturbance schedules.
+	Engine pktsim.Config
+	// UpdateAtSec is the instant, within a replayed cycle, when the control
+	// center pushes the new rules (default 0.1 s).
+	UpdateAtSec float64
+	// Site is the control center the rule push originates from
+	// (default ruledist.HoustonSite).
+	Site *groundnet.Site
+	// MinElevRad gates which satellites the control center seeds directly;
+	// zero falls back to the scenario's threshold, then to 25°.
+	MinElevRad float64
+}
+
+// replay runs one cycle. prev is the allocation the network was running
+// before this recompute (nil on the first cycle: no update window).
+func (pr *PacketReplay) replay(scen *Scenario, snap *topology.Snapshot, prev *activeAlloc, p *te.Problem, a *te.Allocation, cycle int) (*pktsim.Result, error) {
+	cfg := pr.Engine
+	cfg.Seed += int64(cycle)
+	spec := &pktsim.RunSpec{Snap: snap, Problem: p, Alloc: a}
+	if prev != nil {
+		at := pr.UpdateAtSec
+		if at <= 0 {
+			at = 0.1
+		}
+		site := ruledist.HoustonSite
+		if pr.Site != nil {
+			site = *pr.Site
+		}
+		minElev := pr.MinElevRad
+		if minElev <= 0 {
+			minElev = scen.MinElevRad
+		}
+		if minElev <= 0 {
+			minElev = orbit.Deg(25)
+		}
+		spec.Update = &pktsim.RuleUpdate{
+			PrevProblem: prev.problem,
+			PrevAlloc:   prev.alloc,
+			AtSec:       at,
+			DelaysSec:   ruledist.RuleDistributionDelays(snap, site, minElev),
+		}
+	}
+	return pktsim.Run(spec, cfg)
+}

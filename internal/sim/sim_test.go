@@ -158,4 +158,3 @@ func TestScenarioRelayMode(t *testing.T) {
 		t.Error("no flows in relay mode")
 	}
 }
-

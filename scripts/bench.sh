@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-smoke}"
 GATE="${2:-}"
-CORE_ROOT='BenchmarkSaTEInference66$|BenchmarkSaTEInference396$|BenchmarkSaTEInference66F32|BenchmarkSaTEInference396F32|BenchmarkSaTECycleChurn|BenchmarkGridKShortestStarlink'
+CORE_ROOT='BenchmarkSaTEInference66$|BenchmarkSaTEInference396$|BenchmarkSaTEInference66F32|BenchmarkSaTEInference396F32|BenchmarkSaTECycleChurn|BenchmarkGridKShortestStarlink|BenchmarkPktSim$'
 CORE_AUTODIFF='BenchmarkTapeReuseForwardBackward|BenchmarkTapeFreshForwardBackward|BenchmarkParMatMulSerial|BenchmarkParSegmentSoftmaxSerial'
 # The sharded solver benchmark runs as its own -bench invocation because its
 # sub-benchmark selector contains a "/" (Go applies each regex segment to one
@@ -33,56 +33,75 @@ CORE_SHARD_SMOKE='BenchmarkShardedSolve/sats=2112'
 # get their own invocation rather than joining the 3x core set.
 CORE_SERVE='BenchmarkServeSnapshot$|BenchmarkDeltaCatchup$'
 
-# diff_snapshots OLD NEW [gate]: per-benchmark ns/op and allocs/op deltas.
-# New snapshots store one entry per benchmark (best of count=2); older ones
-# stored one line per run, so parsing still takes the minimum ns/op per name
-# — the standard way to suppress scheduler noise on a shared box. With
-# "gate", exits 1 when any benchmark present in both snapshots regresses
-# >10% in either metric.
+# diff_snapshots NEW GATE OLD...: per-benchmark ns/op and allocs/op deltas.
+# The baseline is merged from ALL previous snapshots, passed oldest-first:
+# for each benchmark the LATEST file containing it wins, so snapshot files
+# that cover only a subset of the suite (e.g. BENCH_*-serving.json) neither
+# shadow the full suite as "the previous snapshot" nor lose their own
+# benchmarks' history. New snapshots store one entry per benchmark (best of
+# count=2); older ones stored one line per run, so parsing still takes the
+# minimum ns/op per name within a file — the standard way to suppress
+# scheduler noise on a shared box. Benchmarks absent from every baseline
+# file are reported and skipped, never gated. With GATE="gate", exits 1
+# when any benchmark present in both regresses >10% in either metric.
 diff_snapshots() {
-	awk -v old="$1" -v new="$2" -v gate="${3:-}" '
-	function parse(file, ns, al,   line, name, v) {
-		while ((getline line < file) > 0) {
+	new="$1"
+	gate="$2"
+	shift 2
+	awk -v new="$new" -v gate="$gate" '
+	# Baseline files arrive oldest-first on the command line: first line of a
+	# name in a NEW file overrides whatever an older file recorded; further
+	# lines in the SAME file take the minimum ns/op.
+	/"name":/ {
+		name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+		v = $0; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
+		a = $0; sub(/.*"allocs_op": /, "", a); sub(/[,}].*/, "", a)
+		if (src[name] != FILENAME) {
+			src[name] = FILENAME
+			ons[name] = v + 0
+			oal[name] = a
+		} else if (v + 0 < ons[name] + 0) {
+			ons[name] = v + 0
+			oal[name] = a
+		}
+	}
+	END {
+		while ((getline line < new) > 0) {
 			if (line !~ /"name":/) continue
 			name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
 			v = line; sub(/.*"ns_op": /, "", v); sub(/[,}].*/, "", v)
-			if (!(name in ns) || v + 0 < ns[name] + 0) {
-				ns[name] = v + 0
-				v = line; sub(/.*"allocs_op": /, "", v); sub(/[,}].*/, "", v)
-				al[name] = v
-			}
 			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+			if (!(name in nns) || v + 0 < nns[name] + 0) {
+				nns[name] = v + 0
+				v = line; sub(/.*"allocs_op": /, "", v); sub(/[,}].*/, "", v)
+				nal[name] = v
+			}
 		}
-		close(file)
-	}
-	BEGIN {
-		parse(old, ons, oal)
-		n = 0; delete order; delete seen
-		parse(new, nns, nal)
+		close(new)
 		fail = 0
-		printf "%-40s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs"
+		printf "%-40s %14s %14s %8s %-16s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs", "baseline"
 		for (i = 1; i <= n; i++) {
 			name = order[i]
 			if (!(name in ons)) {
-				printf "%-40s %14s %14.0f %8s %s\n", name, "-", nns[name], "new", nal[name]
+				printf "%-40s %14s %14.0f %8s %-16s %s\n", name, "-", nns[name], "new", nal[name], "(absent from baseline: skipped)"
 				continue
 			}
 			d = 100 * (nns[name] - ons[name]) / ons[name]
 			amark = nal[name]
 			if (oal[name] != "null" && nal[name] != "null" && oal[name] + 0 != nal[name] + 0)
 				amark = oal[name] " -> " nal[name]
-			printf "%-40s %14.0f %14.0f %+7.1f%% %s\n", name, ons[name], nns[name], d, amark
+			printf "%-40s %14.0f %14.0f %+7.1f%% %-16s %s\n", name, ons[name], nns[name], d, amark, src[name]
 			if (gate != "") {
-				if (d > 10) { print "GATE: " name " ns/op regressed " sprintf("%+.1f%%", d); fail = 1 }
+				if (d > 10) { print "GATE: " name " ns/op regressed " sprintf("%+.1f%%", d) " vs " src[name]; fail = 1 }
 				if (oal[name] != "null" && nal[name] != "null" && oal[name] + 0 > 0 && \
 				    nal[name] + 0 > oal[name] * 1.1) {
-					print "GATE: " name " allocs/op regressed " oal[name] " -> " nal[name]
+					print "GATE: " name " allocs/op regressed " oal[name] " -> " nal[name] " vs " src[name]
 					fail = 1
 				}
 			}
 		}
 		exit fail
-	}'
+	}' "$@"
 }
 
 case "$MODE" in
@@ -103,8 +122,12 @@ full)
 	OUT="BENCH_${DATE}.json"
 	TMP="$(mktemp)"
 	trap 'rm -f "$TMP"' EXIT
-	# The most recent previous snapshot, before OUT is (re)written.
-	PREV="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort | tail -n 1 || true)"
+	# All previous snapshots, oldest-first, captured before OUT is
+	# (re)written. diff_snapshots merges them per-benchmark: the latest
+	# file containing a given benchmark is its baseline, so same-day
+	# subset snapshots (BENCH_<date>-<topic>.json) cannot steal the
+	# "previous snapshot" slot from the full suite.
+	PREV="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort || true)"
 	echo "== bench full (3x, count=2) -> $OUT =="
 	go test -run '^$' -bench "$CORE_ROOT" -benchtime=3x -count=2 . | tee -a "$TMP"
 	go test -run '^$' -bench "$CORE_SHARD" -benchtime=3x -count=2 . | tee -a "$TMP"
@@ -144,14 +167,16 @@ full)
 	} >"$OUT"
 	echo "wrote $OUT"
 	if [ -n "$PREV" ]; then
-		echo "== delta vs $PREV =="
+		echo "== delta vs merged baseline ($(echo "$PREV" | tr '\n' ' ')) =="
 		if [ "$GATE" = "--gate" ]; then
-			diff_snapshots "$PREV" "$OUT" gate || {
+			# shellcheck disable=SC2086 # snapshot names never contain spaces
+			diff_snapshots "$OUT" gate $PREV || {
 				echo "bench gate: regression above 10% threshold" >&2
 				exit 1
 			}
 		else
-			diff_snapshots "$PREV" "$OUT"
+			# shellcheck disable=SC2086
+			diff_snapshots "$OUT" "" $PREV
 		fi
 	elif [ "$GATE" = "--gate" ]; then
 		echo "bench gate: no previous BENCH_*.json to compare against" >&2

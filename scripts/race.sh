@@ -14,4 +14,5 @@ go test -race \
 	./internal/topology/... \
 	./internal/te/... \
 	./internal/controller/... \
-	./internal/ruledist/...
+	./internal/ruledist/... \
+	./internal/pktsim/...
